@@ -1,0 +1,74 @@
+// Command cloudd runs the vehicular-cloud optimization service: EVs POST
+// their route and departure time to /v1/optimize and receive the
+// queue-aware optimal velocity profile.
+//
+// Usage:
+//
+//	cloudd [-addr host:port] [-rate veh/h]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"evvo/internal/cloud"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8714", "listen address")
+		rate = flag.Float64("rate", 153, "default predicted arrival rate at signals, vehicles/hour")
+	)
+	flag.Parse()
+	if err := run(*addr, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer constructs the cloud service with a constant default
+// arrival-rate estimate.
+func buildServer(rate float64) (*cloud.Server, error) {
+	vin := queue.VehPerHour(rate)
+	return cloud.NewServer(cloud.ServerConfig{
+		ArrivalRate: func(road.Control, float64) float64 { return vin },
+	})
+}
+
+func run(addr string, rate float64) error {
+	srv, err := buildServer(rate)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cloudd: serving on http://%s (default rate %.0f veh/h)", addr, rate)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-sigCh:
+		log.Println("cloudd: shutting down")
+		return httpSrv.Close()
+	}
+}

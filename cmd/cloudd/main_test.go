@@ -1,0 +1,33 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"evvo/internal/cloud"
+)
+
+func TestBuildServerServes(t *testing.T) {
+	srv, err := buildServer(153)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := cloud.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := c.Routes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) == 0 {
+		t.Fatal("no routes registered")
+	}
+}

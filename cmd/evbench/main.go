@@ -1,0 +1,110 @@
+// Command evbench regenerates every figure of the paper's evaluation
+// section as text tables. Each subcommand corresponds to one figure; `all`
+// runs the lot. --fast trades resolution for runtime.
+//
+// Usage:
+//
+//	evbench [--fast] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"evvo/internal/ev"
+	"evvo/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "coarse grids and small models (quick run)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: evbench [--fast] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fid := experiments.FidelityFull
+	if *fast {
+		fid = experiments.FidelityFast
+	}
+	if err := run(os.Stdout, flag.Arg(0), fid); err != nil {
+		fmt.Fprintln(os.Stderr, "evbench:", err)
+		os.Exit(1)
+	}
+}
+
+// renderer is any figure result.
+type renderer interface {
+	Render(io.Writer) error
+}
+
+func run(w io.Writer, fig string, fid experiments.Fidelity) error {
+	figs := []string{fig}
+	if fig == "all" {
+		figs = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "grade", "fleet"}
+	}
+	// Figs 6–8 share one comparison run; compute it lazily once.
+	var comparison *experiments.ComparisonResult
+	getComparison := func() (*experiments.ComparisonResult, error) {
+		if comparison == nil {
+			c, err := experiments.Comparison(fid)
+			if err != nil {
+				return nil, err
+			}
+			comparison = c
+		}
+		return comparison, nil
+	}
+
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		var (
+			r   renderer
+			err error
+		)
+		switch f {
+		case "fig3":
+			r, err = experiments.Fig3(ev.SparkEV())
+		case "fig4":
+			r, err = experiments.Fig4(fid)
+		case "fig5":
+			r, err = experiments.Fig5(fid)
+		case "fig6":
+			var c *experiments.ComparisonResult
+			if c, err = getComparison(); err == nil {
+				r = &experiments.Fig6Result{ComparisonResult: c}
+			}
+		case "fig7":
+			var c *experiments.ComparisonResult
+			if c, err = getComparison(); err == nil {
+				r = &experiments.Fig7Result{ComparisonResult: c}
+			}
+		case "fig8":
+			var c *experiments.ComparisonResult
+			if c, err = getComparison(); err == nil {
+				r = &experiments.Fig8Result{ComparisonResult: c}
+			}
+		case "grade":
+			r, err = experiments.GradeStudy(fid)
+		case "fleet":
+			r, err = experiments.RunFleetStudy(fid)
+		default:
+			return fmt.Errorf("unknown figure %q (want fig3..fig8, grade, fleet, or all)", f)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if err := r.Render(w); err != nil {
+			return fmt.Errorf("rendering %s: %w", f, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"evvo/internal/experiments"
+)
+
+func TestRunSingleFigures(t *testing.T) {
+	for _, fig := range []string{"fig3", "fig4", "fig5", "grade"} {
+		t.Run(fig, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, fig, experiments.FidelityFast); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunComparisonFiguresShareOneRun(t *testing.T) {
+	var buf bytes.Buffer
+	// fig6+fig7+fig8 via "all" exercises the lazy shared comparison.
+	if err := run(&buf, "all", experiments.FidelityFast); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Gradient study"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "fig99", experiments.FidelityFast); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

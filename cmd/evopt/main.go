@@ -1,0 +1,87 @@
+// Command evopt computes an energy-optimal velocity profile for the US-25
+// experimental route and prints it, with per-signal arrival diagnostics.
+//
+// Usage:
+//
+//	evopt [-variant queue-aware|green|unconstrained] [-depart s]
+//	      [-rate veh/h] [-ds m] [-dv m/s] [-dt s] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func main() {
+	var (
+		variant = flag.String("variant", "queue-aware", "optimizer variant: queue-aware, green, or unconstrained")
+		depart  = flag.Float64("depart", 0, "departure time in seconds (signal cycles are anchored at t = 0)")
+		rate    = flag.Float64("rate", 153, "predicted vehicle arrival rate at signals, vehicles/hour")
+		dsM     = flag.Float64("ds", 50, "position grid Δs in metres")
+		dvMS    = flag.Float64("dv", 0.5, "velocity grid Δv in m/s")
+		dtSec   = flag.Float64("dt", 1, "time grid Δt in seconds")
+		csv     = flag.Bool("csv", false, "emit the profile as CSV (t,pos,v) instead of a table")
+	)
+	flag.Parse()
+	if err := run(*variant, *depart, *rate, *dsM, *dvMS, *dtSec, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "evopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(variant string, depart, rate, dsM, dvMS, dtSec float64, csv bool) error {
+	route := road.US25()
+	cfg := dp.Config{
+		Route: route, Vehicle: ev.SparkEV(), DepartTime: depart,
+		DsM: dsM, DvMS: dvMS, DtSec: dtSec, StopDwellSec: 2,
+	}
+	horizon := depart + 800
+	switch variant {
+	case "green":
+		cfg.Windows = dp.GreenWindows(depart, horizon)
+	case "queue-aware":
+		wf, err := dp.QueueAwareWindows(queue.US25Params(),
+			dp.ConstantArrivalRate(queue.VehPerHour(rate)), depart, horizon)
+		if err != nil {
+			return err
+		}
+		cfg.Windows = wf
+	case "unconstrained":
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+
+	res, err := dp.Optimize(cfg)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Println("t_sec,pos_m,speed_ms")
+		for _, p := range res.Profile.Points() {
+			fmt.Printf("%.2f,%.1f,%.3f\n", p.T, p.Pos, p.V)
+		}
+		return nil
+	}
+	fmt.Printf("route: US-25 (%.1f km), variant: %s, depart: %.0f s\n",
+		route.LengthM()/1000, variant, depart)
+	fmt.Printf("energy: %.1f mAh   trip: %.1f s   penalized: %v\n",
+		res.ChargeAh*1000, res.TripSec, res.Penalized)
+	for _, a := range res.Arrivals {
+		status := "in window"
+		if !a.InWindow {
+			status = "OUT OF WINDOW"
+		}
+		fmt.Printf("  %-10s at %4.0f m: arrive t=%6.1f s  (%s)\n", a.Name, a.PositionM, a.ArrivalSec, status)
+	}
+	fmt.Println("\npos (m)  speed (km/h)")
+	for pos := 0.0; pos <= route.LengthM(); pos += 200 {
+		fmt.Printf("%7.0f  %6.1f\n", pos, 3.6*res.Profile.SpeedAtPos(pos))
+	}
+	return nil
+}

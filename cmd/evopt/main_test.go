@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunVariants(t *testing.T) {
+	for _, variant := range []string{"queue-aware", "green", "unconstrained"} {
+		t.Run(variant, func(t *testing.T) {
+			if err := run(variant, 0, 153, 100, 1, 2, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("queue-aware", 10, 153, 100, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownVariant(t *testing.T) {
+	if err := run("teleport", 0, 153, 100, 1, 2, false); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command simd runs the microscopic traffic simulator as a daemon speaking
+// the trasi protocol (the repository's TraCI substitute). Clients connect
+// over TCP to step the simulation, inject controlled EVs, command speeds
+// and read queues.
+//
+// Usage:
+//
+//	simd [-addr host:port] [-rate veh/h] [-gamma ratio] [-seed n] [-step s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/sim"
+	"evvo/internal/trasi"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8713", "listen address")
+		rate  = flag.Float64("rate", 153, "background arrival rate, vehicles/hour")
+		gamma = flag.Float64("gamma", 0.7636, "straight-through ratio γ at signals")
+		seed  = flag.Int64("seed", 1, "simulation random seed")
+		step  = flag.Float64("step", 0.5, "simulation tick in seconds")
+	)
+	flag.Parse()
+	if err := run(*addr, *rate, *gamma, *seed, *step); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+// start builds the simulation server and begins listening; the caller owns
+// shutdown via the returned server's Close.
+func start(addr string, rate, gamma float64, seed int64, step float64) (*trasi.Server, net.Addr, error) {
+	s, err := sim.New(sim.Config{
+		Route:         road.US25(),
+		StepSec:       step,
+		Seed:          seed,
+		Arrivals:      queue.ConstantRate(queue.VehPerHour(rate)),
+		StraightRatio: gamma,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := trasi.NewServer(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, bound, nil
+}
+
+func run(addr string, rate, gamma float64, seed int64, step float64) error {
+	srv, bound, err := start(addr, rate, gamma, seed, step)
+	if err != nil {
+		return err
+	}
+	log.Printf("simd: serving US-25 simulation on %s (rate %.0f veh/h, γ %.2f, seed %d)",
+		bound, rate, gamma, seed)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	log.Println("simd: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,13 @@
+// Package evvo reproduces "Velocity Optimization of Pure Electric Vehicles
+// with Traffic Dynamics Consideration" (Kang, Shen, Sarker — ICDCS 2017):
+// a queue-aware dynamic-programming velocity optimizer for pure EVs,
+// together with every substrate the paper's evaluation depends on — the EV
+// energy model, the VM/QL traffic-dynamics models, a stacked-autoencoder
+// traffic-volume predictor built on a from-scratch neural-network library,
+// a microscopic traffic simulator with a TraCI-style socket protocol, and
+// a vehicular-cloud optimization service.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation.
+package evvo

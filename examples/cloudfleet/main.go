@@ -1,0 +1,93 @@
+// Cloudfleet: run the vehicular-cloud service in-process and have a fleet
+// of EVs concurrently request optimal profiles for staggered departures —
+// the deployment model of the paper's references [6, 7], where on-board
+// units upload state and the cloud computes the velocity profile.
+//
+// Run with:
+//
+//	go run ./examples/cloudfleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"evvo/internal/cloud"
+	"evvo/internal/dp"
+)
+
+func main() {
+	srv, err := cloud.NewServer(cloud.ServerConfig{
+		// Coarser grid keeps the demo snappy.
+		DPTemplate: dp.Config{DsM: 100, DvMS: 1, DtSec: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Println("cloud server:", err)
+		}
+	}()
+	defer httpSrv.Close()
+
+	client, err := cloud.NewClient("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	const fleet = 24
+	var wg sync.WaitGroup
+	results := make([]*cloud.Response, fleet)
+	start := time.Now()
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Four departure waves: vehicles in a wave share a cache entry.
+			resp, err := client.Optimize(ctx, cloud.Request{
+				Route:      "us25",
+				DepartTime: float64(i%4) * 30,
+			})
+			if err != nil {
+				log.Println("ev", i, "failed:", err)
+				return
+			}
+			results[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cached := 0
+	for i, r := range results {
+		if r == nil {
+			log.Fatalf("ev %d got no plan", i)
+		}
+		if r.Cached {
+			cached++
+		}
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet of %d EVs served in %v\n", fleet, elapsed.Round(time.Millisecond))
+	fmt.Printf("cache: %d responses served from cache (server counters: %+v)\n", cached, stats)
+	fmt.Printf("sample plan: %.1f mAh over %.0f s, %d signal arrivals, penalized=%v\n",
+		results[0].ChargeAh*1000, results[0].TripSec, len(results[0].Arrivals), results[0].Penalized)
+}

@@ -1,0 +1,85 @@
+// Corridor: apply the queue-aware optimizer to a route the paper never
+// drove — a 6 km urban corridor with five signalized intersections at
+// staggered offsets — and sweep departure times, comparing the queue-aware
+// DP against the green-window baseline on planned energy and window hits.
+//
+// Run with:
+//
+//	go run ./examples/corridor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func buildCorridor() (*road.Route, error) {
+	controls := []road.Control{
+		{Kind: road.ControlSignal, PositionM: 900, Timing: road.SignalTiming{RedSec: 35, GreenSec: 25}, Name: "sig-1"},
+		{Kind: road.ControlSignal, PositionM: 2100, Timing: road.SignalTiming{RedSec: 30, GreenSec: 30, OffsetSec: 12}, Name: "sig-2"},
+		{Kind: road.ControlSignal, PositionM: 3300, Timing: road.SignalTiming{RedSec: 25, GreenSec: 35, OffsetSec: 31}, Name: "sig-3"},
+		{Kind: road.ControlSignal, PositionM: 4400, Timing: road.SignalTiming{RedSec: 30, GreenSec: 30, OffsetSec: 7}, Name: "sig-4"},
+		{Kind: road.ControlSignal, PositionM: 5500, Timing: road.SignalTiming{RedSec: 40, GreenSec: 20, OffsetSec: 22}, Name: "sig-5"},
+	}
+	return road.NewRoute(road.RouteConfig{
+		LengthM:      6000,
+		DefaultMinMS: road.KmhToMs(30),
+		DefaultMaxMS: road.KmhToMs(60),
+		Controls:     controls,
+		GradeZones: []road.GradeZone{
+			{StartM: 2500, EndM: 3200, ThetaRad: 0.02},   // short climb
+			{StartM: 4600, EndM: 5200, ThetaRad: -0.015}, // descent (regen)
+		},
+	})
+}
+
+func main() {
+	route, err := buildCorridor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vin := queue.VehPerHour(300) // busier urban corridor
+	qp := queue.US25Params()
+
+	fmt.Println("depart  variant      energy (mAh)  trip (s)  in-window arrivals")
+	for _, depart := range []float64{0, 20, 40} {
+		horizon := depart + 1000
+		base := dp.Config{
+			Route: route, Vehicle: ev.SparkEV(), DepartTime: depart,
+			MaxTripSec: 900, DsM: 100, DvMS: 1, DtSec: 2,
+		}
+		for _, variant := range []string{"green", "queue-aware"} {
+			cfg := base
+			switch variant {
+			case "green":
+				cfg.Windows = dp.GreenWindows(depart, horizon)
+			case "queue-aware":
+				wf, err := dp.QueueAwareWindows(qp, dp.ConstantArrivalRate(vin), depart, horizon)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cfg.Windows = wf
+			}
+			res, err := dp.Optimize(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hits := 0
+			for _, a := range res.Arrivals {
+				if a.InWindow {
+					hits++
+				}
+			}
+			fmt.Printf("%5.0fs  %-11s  %12.1f  %8.1f  %d/%d\n",
+				depart, variant, res.ChargeAh*1000, res.TripSec, hits, len(res.Arrivals))
+		}
+	}
+	fmt.Println("\nNote: queue-aware windows are strict subsets of green windows, so the")
+	fmt.Println("queue-aware plan may spend slightly more planned energy — what it buys")
+	fmt.Println("is never meeting a standing queue when the plan is executed in traffic.")
+}

@@ -1,0 +1,92 @@
+// Departure: ask the vehicular cloud *when* to leave. Signal cycles make
+// departure timing matter — a shift of a few seconds can align every
+// arrival with a zero-queue window. The cloud already knows the windows,
+// so its /v1/advise endpoint sweeps a departure range and recommends the
+// cheapest clean option; the same sweep is available in-process through
+// dp.SweepDepartures.
+//
+// Run with:
+//
+//	go run ./examples/departure
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"evvo/internal/cloud"
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func main() {
+	// In-process cloud service.
+	srv, err := cloud.NewServer(cloud.ServerConfig{
+		DPTemplate: dp.Config{DsM: 100, DvMS: 1, DtSec: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	// 1. Remote advice over HTTP.
+	client, err := cloud.NewClient("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := adviseOverHTTP(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cloud advice for a 0–60 s departure window (step 10 s):")
+	for _, o := range resp.Options {
+		marker := " "
+		if o.DepartTime == resp.Best.DepartTime {
+			marker = "*"
+		}
+		fmt.Printf("%s depart %4.0f s → %7.1f mAh, %5.1f s trip, penalized=%v\n",
+			marker, o.DepartTime, o.ChargeAh*1000, o.TripSec, o.Penalized)
+	}
+	fmt.Printf("recommended: leave at t=%.0f s\n\n", resp.Best.DepartTime)
+
+	// 2. The same sweep locally, without the service.
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(400)), 0, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := dp.SweepDepartures(dp.Config{
+		Route: road.US25(), Vehicle: ev.SparkEV(),
+		DsM: 100, DvMS: 1, DtSec: 2, Windows: wf,
+	}, 0, 60, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := dp.BestDeparture(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local sweep (dp.SweepDepartures): best departure %.0f s (%.1f mAh)\n",
+		best.DepartTime, best.Result.ChargeAh*1000)
+}
+
+func adviseOverHTTP(client *cloud.Client) (*cloud.AdviseResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	return client.Advise(ctx, cloud.AdviseRequest{
+		Route: "us25", EarliestDepart: 0, LatestDepart: 60, StepSec: 10,
+		ArrivalRateVehPerHour: 400,
+	})
+}

@@ -1,0 +1,53 @@
+// Ecodrive: reproduce the paper's headline comparison — mild driving, fast
+// driving, the prior green-window DP and the proposed queue-aware DP, all
+// on the US-25 corridor under identical traffic, with the DP plans
+// executed in the microsimulator via the trasi socket protocol.
+//
+// Run with:
+//
+//	go run ./examples/ecodrive [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"evvo/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "report-quality resolution (slower)")
+	flag.Parse()
+
+	fid := experiments.FidelityFast
+	if *full {
+		fid = experiments.FidelityFull
+	}
+	res, err := experiments.Comparison(fid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("profile          energy (mAh)  trip (s)  signal stops  slowest near lights")
+	for _, it := range res.Items {
+		fmt.Printf("%-15s  %12.1f  %8.1f  %12d  %13.1f km/h\n",
+			it.Kind, it.EnergyMAh, it.TripSec, it.Stops, 3.6*it.SlowestSignalMS)
+	}
+
+	prop, err := res.Item(experiments.KindProposed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, vs := range []experiments.ProfileKind{
+		experiments.KindFast, experiments.KindMild, experiments.KindCurrentDP,
+	} {
+		other, err := res.Item(vs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("proposed DP saves %5.1f%% vs %s\n",
+			(1-prop.EnergyMAh/other.EnergyMAh)*100, vs)
+	}
+}

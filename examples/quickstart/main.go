@@ -1,0 +1,50 @@
+// Quickstart: optimize a velocity profile for the paper's US-25 route with
+// queue-aware arrival windows and print what the optimizer achieved.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func main() {
+	route := road.US25()         // 4.2 km, stop sign @490 m, lights @1800 m & 3460 m
+	vehicle := ev.SparkEV()      // the paper's Chevrolet Spark EV model
+	vin := queue.VehPerHour(153) // measured arrival rate at the signals
+
+	// Admissible arrivals at each light: the zero-queue windows T_q
+	// predicted by the queue-length model.
+	windows, err := dp.QueueAwareWindows(queue.US25Params(), dp.ConstantArrivalRate(vin), 0, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dp.Optimize(dp.Config{
+		Route:        route,
+		Vehicle:      vehicle,
+		StopDwellSec: 2,
+		Windows:      windows,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimized %0.1f km trip: %.1f mAh, %.0f s, penalized=%v\n",
+		route.LengthM()/1000, res.ChargeAh*1000, res.TripSec, res.Penalized)
+	for _, a := range res.Arrivals {
+		fmt.Printf("  %s: arrive %.1f s (in zero-queue window: %v)\n", a.Name, a.ArrivalSec, a.InWindow)
+	}
+	fmt.Println("\nspeed profile (every 300 m):")
+	for pos := 0.0; pos <= route.LengthM(); pos += 300 {
+		fmt.Printf("  %4.0f m: %5.1f km/h\n", pos, 3.6*res.Profile.SpeedAtPos(pos))
+	}
+}

@@ -1,0 +1,3 @@
+module evvo
+
+go 1.22

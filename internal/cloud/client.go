@@ -1,0 +1,163 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a vehicular-cloud server. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a base URL like "http://127.0.0.1:8080".
+func NewClient(baseURL string) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("cloud: empty base URL")
+	}
+	return &Client{
+		base: baseURL,
+		http: &http.Client{Timeout: 30 * time.Second},
+	}, nil
+}
+
+// APIError is a non-2xx response from the cloud.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cloud: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Optimize requests an optimal velocity profile.
+func (c *Client) Optimize(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/optimize", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: optimize call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cloud: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Advise asks the service when to depart within a window.
+func (c *Client) Advise(ctx context.Context, req AdviseRequest) (*AdviseResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: encoding advise request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/advise", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: building advise request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: advise call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var out AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cloud: decoding advise response: %w", err)
+	}
+	return &out, nil
+}
+
+// Health checks service liveness.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("cloud: health call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return nil
+}
+
+// Routes lists registered route names.
+func (c *Client) Routes(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/routes", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: routes call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var out struct {
+		Routes []string `json:"routes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cloud: decoding routes: %w", err)
+	}
+	return out.Routes, nil
+}
+
+// Stats fetches service counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return Stats{}, fmt.Errorf("cloud: stats call: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, decodeAPIError(resp)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Stats{}, fmt.Errorf("cloud: decoding stats: %w", err)
+	}
+	return out, nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	return &APIError{Status: resp.StatusCode, Msg: string(body)}
+}

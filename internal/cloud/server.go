@@ -1,0 +1,457 @@
+// Package cloud implements the "vehicular cloud" computing framework the
+// paper builds on (references [6], [7]): EVs upload their state (route and
+// departure time) and the cloud computes and returns the optimal velocity
+// profile, so the on-board unit does not run the DP itself.
+//
+// The service is a JSON-over-HTTP API:
+//
+//	GET  /v1/health          liveness probe
+//	GET  /v1/routes          registered route names
+//	GET  /v1/stats           request/cache counters
+//	POST /v1/optimize        compute an optimal profile
+//	POST /v1/advise          sweep departure times, recommend the best
+//
+// Identical requests within the same departure bucket are served from an
+// in-memory cache: queue predictions only change at the resolution of the
+// signal cycle, so per-vehicle recomputation would be wasted work.
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/profile"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// Variant selects the optimizer flavour.
+type Variant string
+
+// Supported optimizer variants.
+const (
+	// VariantQueueAware is the paper's method: arrivals constrained to
+	// zero-queue windows.
+	VariantQueueAware Variant = "queue-aware"
+	// VariantGreen is the prior DP: arrivals constrained to green phases.
+	VariantGreen Variant = "green"
+	// VariantUnconstrained ignores signals (Ozatay-style baseline).
+	VariantUnconstrained Variant = "unconstrained"
+)
+
+// Request is the optimize-request payload.
+type Request struct {
+	// Route names a registered route (required).
+	Route string `json:"route"`
+	// DepartTime is the absolute departure time in seconds (signal phases
+	// are anchored at t = 0).
+	DepartTime float64 `json:"departTime"`
+	// Variant selects the optimizer (default queue-aware).
+	Variant Variant `json:"variant,omitempty"`
+	// ArrivalRateVehPerHour overrides the cloud's arrival-rate estimate
+	// for queue prediction (optional, > 0 to take effect).
+	ArrivalRateVehPerHour float64 `json:"arrivalRateVehPerHour,omitempty"`
+}
+
+// PointJSON is one trajectory sample.
+type PointJSON struct {
+	T   float64 `json:"t"`
+	Pos float64 `json:"pos"`
+	V   float64 `json:"v"`
+}
+
+// ArrivalJSON reports one signal crossing.
+type ArrivalJSON struct {
+	Name       string  `json:"name"`
+	PositionM  float64 `json:"positionM"`
+	ArrivalSec float64 `json:"arrivalSec"`
+	InWindow   bool    `json:"inWindow"`
+}
+
+// Response is the optimize-response payload.
+type Response struct {
+	Profile   []PointJSON   `json:"profile"`
+	ChargeAh  float64       `json:"chargeAh"`
+	TripSec   float64       `json:"tripSec"`
+	Arrivals  []ArrivalJSON `json:"arrivals"`
+	Penalized bool          `json:"penalized"`
+	Cached    bool          `json:"cached"`
+}
+
+// Stats are service counters.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cacheHits"`
+	Errors    int64 `json:"errors"`
+}
+
+// ServerConfig parameterizes the cloud service.
+type ServerConfig struct {
+	// Vehicle is the EV model used for optimization (default SparkEV).
+	Vehicle ev.Params
+	// QueueParams parameterize zero-queue-window prediction (default
+	// US25Params).
+	QueueParams queue.Params
+	// ArrivalRate estimates V_in (veh/s) at a signal for a departure time;
+	// requests may override it. Default: the paper's measured 153 veh/h.
+	ArrivalRate func(c road.Control, departTime float64) float64
+	// DPTemplate provides grid/penalty defaults for the optimizer; Route,
+	// DepartTime and Windows are filled per request.
+	DPTemplate dp.Config
+	// CacheDepartBucketSec groups departures for caching (default 5 s).
+	CacheDepartBucketSec float64
+	// MaxCacheEntries bounds the cache (default 1024).
+	MaxCacheEntries int
+}
+
+// Server is the vehicular-cloud HTTP handler. Create with NewServer and
+// mount via Handler.
+type Server struct {
+	cfg    ServerConfig
+	mu     sync.Mutex
+	routes map[string]*road.Route
+	cache  map[string]*Response
+	order  []string // FIFO eviction order
+	stats  Stats
+}
+
+// NewServer builds a Server with the US-25 route pre-registered.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if (cfg.Vehicle == ev.Params{}) {
+		cfg.Vehicle = ev.SparkEV()
+	}
+	if err := cfg.Vehicle.Validate(); err != nil {
+		return nil, fmt.Errorf("cloud: %w", err)
+	}
+	if (cfg.QueueParams == queue.Params{}) {
+		cfg.QueueParams = queue.US25Params()
+	}
+	if err := cfg.QueueParams.Validate(); err != nil {
+		return nil, fmt.Errorf("cloud: %w", err)
+	}
+	if cfg.ArrivalRate == nil {
+		rate := queue.VehPerHour(153)
+		cfg.ArrivalRate = func(road.Control, float64) float64 { return rate }
+	}
+	if cfg.CacheDepartBucketSec == 0 {
+		cfg.CacheDepartBucketSec = 5
+	}
+	if cfg.CacheDepartBucketSec < 0 {
+		return nil, fmt.Errorf("cloud: cache bucket %.1f must be non-negative", cfg.CacheDepartBucketSec)
+	}
+	if cfg.MaxCacheEntries == 0 {
+		cfg.MaxCacheEntries = 1024
+	}
+	s := &Server{
+		cfg:    cfg,
+		routes: map[string]*road.Route{"us25": road.US25()},
+		cache:  make(map[string]*Response),
+	}
+	return s, nil
+}
+
+// RegisterRoute adds a named route.
+func (s *Server) RegisterRoute(name string, r *road.Route) error {
+	if name == "" || r == nil {
+		return fmt.Errorf("cloud: route registration needs a name and a route")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.routes[name]; ok {
+		return fmt.Errorf("cloud: route %q already registered", name)
+	}
+	s.routes[name] = r
+	return nil
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/routes", s.handleRoutes)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.routes))
+	for name := range s.routes {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string][]string{"routes": names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if req.Variant == "" {
+		req.Variant = VariantQueueAware
+	}
+	switch req.Variant {
+	case VariantQueueAware, VariantGreen, VariantUnconstrained:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown variant %q", req.Variant))
+		return
+	}
+	if req.DepartTime < 0 {
+		s.fail(w, http.StatusBadRequest, "departTime must be non-negative")
+		return
+	}
+	if req.ArrivalRateVehPerHour < 0 {
+		s.fail(w, http.StatusBadRequest, "arrivalRateVehPerHour must be non-negative")
+		return
+	}
+
+	s.mu.Lock()
+	route, ok := s.routes[req.Route]
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown route %q", req.Route))
+		return
+	}
+
+	key := s.cacheKey(req)
+	s.mu.Lock()
+	if resp, ok := s.cache[key]; ok {
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		cached := *resp
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, &cached)
+		return
+	}
+	s.mu.Unlock()
+
+	resp, err := s.optimize(route, req)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.mu.Lock()
+	if len(s.cache) >= s.cfg.MaxCacheEntries && len(s.order) > 0 {
+		delete(s.cache, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.cache[key] = resp
+	s.order = append(s.order, key)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) cacheKey(req Request) string {
+	bucket := 0.0
+	if s.cfg.CacheDepartBucketSec > 0 {
+		bucket = float64(int(req.DepartTime / s.cfg.CacheDepartBucketSec))
+	}
+	return fmt.Sprintf("%s|%s|%g|%g", req.Route, req.Variant, bucket, req.ArrivalRateVehPerHour)
+}
+
+func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
+	cfg := s.cfg.DPTemplate
+	cfg.Route = route
+	cfg.Vehicle = s.cfg.Vehicle
+	cfg.DepartTime = req.DepartTime
+	if cfg.MaxTripSec == 0 {
+		cfg.MaxTripSec = 600
+	}
+	horizon := req.DepartTime + cfg.MaxTripSec + 120
+
+	switch req.Variant {
+	case VariantGreen:
+		cfg.Windows = dp.GreenWindows(req.DepartTime, horizon)
+	case VariantQueueAware:
+		rate := s.cfg.ArrivalRate
+		if req.ArrivalRateVehPerHour > 0 {
+			vin := queue.VehPerHour(req.ArrivalRateVehPerHour)
+			rate = func(road.Control, float64) float64 { return vin }
+		}
+		wf, err := dp.QueueAwareWindows(s.cfg.QueueParams,
+			func(c road.Control) float64 { return rate(c, req.DepartTime) },
+			req.DepartTime, horizon)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Windows = wf
+	case VariantUnconstrained:
+		cfg.Windows = nil
+	}
+
+	res, err := dp.Optimize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Response{
+		ChargeAh:  res.ChargeAh,
+		TripSec:   res.TripSec,
+		Penalized: res.Penalized,
+	}
+	for _, p := range res.Profile.Points() {
+		out.Profile = append(out.Profile, PointJSON{T: p.T, Pos: p.Pos, V: p.V})
+	}
+	for _, a := range res.Arrivals {
+		out.Arrivals = append(out.Arrivals, ArrivalJSON{
+			Name: a.Name, PositionM: a.PositionM, ArrivalSec: a.ArrivalSec, InWindow: a.InWindow,
+		})
+	}
+	return out, nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding errors past the header cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// AdviseRequest asks the cloud when to depart within a window.
+type AdviseRequest struct {
+	// Route names a registered route (required).
+	Route string `json:"route"`
+	// EarliestDepart and LatestDepart bound the candidate departures (s).
+	EarliestDepart float64 `json:"earliestDepart"`
+	LatestDepart   float64 `json:"latestDepart"`
+	// StepSec spaces the candidates (default 10 s).
+	StepSec float64 `json:"stepSec,omitempty"`
+	// Variant selects the optimizer (default queue-aware).
+	Variant Variant `json:"variant,omitempty"`
+	// ArrivalRateVehPerHour optionally overrides the arrival-rate estimate.
+	ArrivalRateVehPerHour float64 `json:"arrivalRateVehPerHour,omitempty"`
+}
+
+// AdviseOption summarizes one candidate departure.
+type AdviseOption struct {
+	DepartTime float64 `json:"departTime"`
+	ChargeAh   float64 `json:"chargeAh"`
+	TripSec    float64 `json:"tripSec"`
+	Penalized  bool    `json:"penalized"`
+}
+
+// AdviseResponse carries the evaluated candidates and the recommendation.
+type AdviseResponse struct {
+	Options []AdviseOption `json:"options"`
+	// Best is the recommended departure (lowest charge among
+	// non-penalized plans).
+	Best AdviseOption `json:"best"`
+}
+
+// maxAdviseCandidates bounds the sweep size per request.
+const maxAdviseCandidates = 64
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+
+	var req AdviseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if req.StepSec == 0 {
+		req.StepSec = 10
+	}
+	if req.Variant == "" {
+		req.Variant = VariantQueueAware
+	}
+	switch {
+	case req.StepSec <= 0:
+		s.fail(w, http.StatusBadRequest, "stepSec must be positive")
+		return
+	case req.EarliestDepart < 0 || req.LatestDepart < req.EarliestDepart:
+		s.fail(w, http.StatusBadRequest, "departure window invalid")
+		return
+	case (req.LatestDepart-req.EarliestDepart)/req.StepSec > maxAdviseCandidates:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("window spans more than %d candidates; widen stepSec", maxAdviseCandidates))
+		return
+	case req.ArrivalRateVehPerHour < 0:
+		s.fail(w, http.StatusBadRequest, "arrivalRateVehPerHour must be non-negative")
+		return
+	}
+	switch req.Variant {
+	case VariantQueueAware, VariantGreen, VariantUnconstrained:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown variant %q", req.Variant))
+		return
+	}
+	s.mu.Lock()
+	route, ok := s.routes[req.Route]
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown route %q", req.Route))
+		return
+	}
+
+	resp := &AdviseResponse{}
+	bestIdx, bestCharge := -1, 0.0
+	for depart := req.EarliestDepart; depart <= req.LatestDepart+1e-9; depart += req.StepSec {
+		one, err := s.optimize(route, Request{
+			Route: req.Route, DepartTime: depart, Variant: req.Variant,
+			ArrivalRateVehPerHour: req.ArrivalRateVehPerHour,
+		})
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, fmt.Sprintf("depart %.0f s: %v", depart, err))
+			return
+		}
+		opt := AdviseOption{
+			DepartTime: depart, ChargeAh: one.ChargeAh,
+			TripSec: one.TripSec, Penalized: one.Penalized,
+		}
+		resp.Options = append(resp.Options, opt)
+		better := bestIdx < 0 ||
+			(!opt.Penalized && resp.Options[bestIdx].Penalized) ||
+			(opt.Penalized == resp.Options[bestIdx].Penalized && opt.ChargeAh < bestCharge)
+		if better {
+			bestIdx, bestCharge = len(resp.Options)-1, opt.ChargeAh
+		}
+	}
+	resp.Best = resp.Options[bestIdx]
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ToProfile converts a Response's trajectory back into a profile.Profile.
+func (r *Response) ToProfile() (*profile.Profile, error) {
+	pts := make([]profile.Point, 0, len(r.Profile))
+	for _, p := range r.Profile {
+		pts = append(pts, profile.Point{T: p.T, Pos: p.Pos, V: p.V})
+	}
+	return profile.New(pts)
+}

@@ -1,0 +1,273 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"evvo/internal/profile"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// GreedyPlan is a fast heuristic alternative to Optimize, in the spirit of
+// the paper's reference [15] (Qiu et al., "Towards Green Transportation:
+// Fast Vehicle Velocity Optimization"): instead of searching the full
+// (position, velocity, time) state space it plans leg by leg — between
+// mandatory stops it picks, for each signal, the cruise speed whose arrival
+// lands in an admissible window at the lowest weighted cost, building the
+// trajectory from analytic accelerate–cruise–decelerate ramps.
+//
+// Complexity is O(signals × windows × candidate speeds) instead of the
+// DP's millions of state relaxations; the price is optimality — see
+// BenchmarkExtGreedyVsDP for the measured quality gap.
+func GreedyPlan(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.Route
+
+	// Leg targets: every signal (pass at cruise speed, inside a window)
+	// and every mandatory stop (arrive at rest), in position order.
+	type target struct {
+		pos     float64
+		signal  *road.Control // nil for stops
+		dwell   float64
+		windows []queue.Window
+	}
+	var targets []target
+	for _, c := range r.Controls() {
+		c := c
+		switch c.Kind {
+		case road.ControlStopSign:
+			targets = append(targets, target{pos: c.PositionM, dwell: cfg.StopDwellSec})
+		case road.ControlSignal:
+			tg := target{pos: c.PositionM, signal: &c}
+			if cfg.Windows != nil {
+				if raw := cfg.Windows(c); raw != nil {
+					tg.windows = make([]queue.Window, 0, len(raw))
+					for _, w := range raw {
+						s, e := w.Start+cfg.WindowMarginSec, w.End-cfg.WindowEndMarginSec
+						if e > s {
+							tg.windows = append(tg.windows, queue.Window{Start: s, End: e})
+						}
+					}
+				}
+			}
+			targets = append(targets, tg)
+		}
+	}
+	targets = append(targets, target{pos: r.LengthM()})
+
+	pts := []profile.Point{{T: cfg.DepartTime, Pos: 0, V: 0}}
+	now, pos, v := cfg.DepartTime, 0.0, 0.0
+	penalized := false
+	var arrivals []SignalArrival
+
+	for _, tg := range targets {
+		dist := tg.pos - pos
+		if dist <= 0 {
+			continue
+		}
+		mn, mx := legSpeedBand(r, pos, tg.pos)
+		exit := 0.0 // stops and the destination: arrive at rest
+		if tg.signal != nil {
+			// Pass through the signal at the cruise speed itself.
+			exit = -1
+		}
+
+		best := legChoice{cost: math.Inf(1)}
+		for vc := mn; vc <= mx+1e-9; vc += 0.25 {
+			if vc < 0.5 {
+				continue
+			}
+			ex := exit
+			if ex < 0 {
+				ex = vc
+			}
+			leg, err := buildLeg(cfg, pos, v, vc, ex, dist)
+			if err != nil {
+				continue
+			}
+			arr := now + leg.durSec
+			cost := leg.chargeAh + cfg.TimeWeightAhPerSec*leg.durSec
+			miss := 0.0
+			if tg.signal != nil && tg.windows != nil {
+				if d := windowMiss(tg.windows, arr); d > 0 {
+					// Prefer waiting for the window start by slowing:
+					// penalize misses proportionally, falling back to the
+					// full penalty when nothing lands inside.
+					cost += cfg.PenaltyAh
+					miss = d
+				}
+			}
+			if cost < best.cost || (cost == best.cost && miss < best.miss) {
+				best = legChoice{leg: leg, cost: cost, miss: miss, cruise: vc}
+			}
+		}
+		if math.IsInf(best.cost, 1) {
+			return nil, fmt.Errorf("dp: greedy planner found no feasible leg to %.0f m", tg.pos)
+		}
+		for _, p := range best.leg.pts {
+			pts = append(pts, profile.Point{T: now + p.T, Pos: pos + p.Pos, V: p.V})
+		}
+		now += best.leg.durSec
+		pos = tg.pos
+		v = best.leg.exit
+
+		if tg.signal != nil {
+			in := tg.windows == nil || windowMiss(tg.windows, now) == 0
+			if !in {
+				penalized = true
+			}
+			arrivals = append(arrivals, SignalArrival{
+				Name: tg.signal.Name, PositionM: tg.pos, ArrivalSec: now, InWindow: in,
+			})
+		}
+		if tg.signal == nil && tg.pos < r.LengthM() && tg.dwell > 0 {
+			now += tg.dwell
+			pts = append(pts, profile.Point{T: now, Pos: pos, V: 0})
+		}
+	}
+
+	prof, err := profile.New(pts)
+	if err != nil {
+		return nil, fmt.Errorf("dp: greedy profile: %w", err)
+	}
+	charge, err := prof.Energy(cfg.Vehicle, r.GradeAt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Profile:   prof,
+		ChargeAh:  charge,
+		TripSec:   now - cfg.DepartTime,
+		Arrivals:  arrivals,
+		Penalized: penalized,
+	}, nil
+}
+
+// legChoice is a candidate leg with its selection cost.
+type legChoice struct {
+	leg    legResult
+	cost   float64
+	miss   float64
+	cruise float64
+}
+
+// legSpeedBand returns the intersection of speed bands over [from, to):
+// the cruise speed must be legal everywhere on the leg — at or above the
+// strictest minimum (the acceleration/deceleration ramps are exempt, as in
+// the DP's ramp zones) and at or below the strictest maximum.
+func legSpeedBand(r *road.Route, from, to float64) (mn, mx float64) {
+	mn, mx = 0.5, math.Inf(1)
+	for pos := from; pos < to; pos += 25 {
+		lo, hi := r.SpeedLimits(math.Min(pos, r.LengthM()-1e-9))
+		if hi < mx {
+			mx = hi
+		}
+		if lo > mn {
+			mn = lo
+		}
+	}
+	if mn > mx {
+		mn = mx
+	}
+	return mn, mx
+}
+
+// legResult is an analytic accelerate–cruise–decelerate leg, with points
+// relative to the leg's start (time and position both zero-based).
+type legResult struct {
+	pts      []profile.Point
+	durSec   float64
+	chargeAh float64
+	exit     float64
+}
+
+// buildLeg constructs a trapezoidal speed leg of length dist entering at
+// v0, cruising at vc, exiting at vExit, under cfg's acceleration bounds.
+// It fails when the distance cannot accommodate the required ramps.
+func buildLeg(cfg Config, startPos, v0, vc, vExit, dist float64) (legResult, error) {
+	up, down := cfg.AccelMaxMS2, cfg.DecelMaxMS2
+	rampIn := math.Abs(vc*vc-v0*v0) / (2 * rampRate(v0, vc, up, down))
+	rampOut := math.Abs(vExit*vExit-vc*vc) / (2 * rampRate(vc, vExit, up, down))
+	if rampIn+rampOut > dist {
+		return legResult{}, fmt.Errorf("dp: leg too short for ramps")
+	}
+	cruise := dist - rampIn - rampOut
+
+	var leg legResult
+	tt, pp := 0.0, 0.0
+	emit := func(vStart, vEnd, ds float64) {
+		if ds <= 0 {
+			return
+		}
+		n := int(math.Ceil(ds / 10))
+		a := (vEnd*vEnd - vStart*vStart) / (2 * ds)
+		for k := 1; k <= n; k++ {
+			sOff := ds * float64(k) / float64(n)
+			vk := math.Sqrt(math.Max(0, vStart*vStart+2*a*sOff))
+			var dtk float64
+			if math.Abs(a) < 1e-12 {
+				dtk = sOff / math.Max(vStart, 1e-9)
+			} else {
+				dtk = (vk - vStart) / a
+			}
+			leg.pts = append(leg.pts, profile.Point{T: tt + dtk, Pos: pp + sOff, V: vk})
+		}
+		vAvg := (vStart + vEnd) / 2
+		if math.Abs(a) < 1e-12 {
+			tt += ds / math.Max(vAvg, 1e-9)
+		} else {
+			tt += (vEnd - vStart) / a
+		}
+		pp += ds
+	}
+	emit(v0, vc, rampIn)
+	emit(vc, vc, cruise)
+	emit(vc, vExit, rampOut)
+	leg.durSec = tt
+	leg.exit = vExit
+
+	// Charge over the leg via the same segment arithmetic as the DP.
+	grade := cfg.Route.GradeAt(startPos + dist/2)
+	prev := profile.Point{}
+	for _, p := range leg.pts {
+		ds := p.Pos - prev.Pos
+		dt := p.T - prev.T
+		if ds > 0 && dt > 0 {
+			vAvg := (prev.V + p.V) / 2
+			leg.chargeAh += cfg.Vehicle.Charge(vAvg, (p.V-prev.V)/dt, grade, dt)
+		}
+		prev = p
+	}
+	return leg, nil
+}
+
+// rampRate picks the applicable acceleration magnitude for a speed change.
+func rampRate(from, to, up, down float64) float64 {
+	if to >= from {
+		return up
+	}
+	return down
+}
+
+// windowMiss returns 0 when t lies in any window, otherwise the distance
+// to the nearest window edge.
+func windowMiss(ws []queue.Window, t float64) float64 {
+	if len(ws) == 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for _, w := range ws {
+		if w.Contains(t) {
+			return 0
+		}
+		d := math.Min(math.Abs(t-w.Start), math.Abs(t-w.End))
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}

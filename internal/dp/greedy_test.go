@@ -1,0 +1,105 @@
+package dp
+
+import (
+	"testing"
+
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+func TestGreedyPlanOpenRoad(t *testing.T) {
+	res, err := GreedyPlan(Config{
+		Route: openRoad(t), Vehicle: ev.SparkEV(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Profile.Distance(), 1000, 1) {
+		t.Fatalf("distance %v", res.Profile.Distance())
+	}
+	pts := res.Profile.Points()
+	if pts[0].V != 0 || pts[len(pts)-1].V > 0.6 {
+		t.Fatalf("endpoints %v / %v, want at rest", pts[0].V, pts[len(pts)-1].V)
+	}
+	if res.ChargeAh <= 0 || res.TripSec <= 0 {
+		t.Fatalf("charge %v trip %v", res.ChargeAh, res.TripSec)
+	}
+	if res.Penalized {
+		t.Fatal("open road penalized")
+	}
+}
+
+func TestGreedyPlanHitsWindows(t *testing.T) {
+	vin := queue.VehPerHour(400)
+	wf, err := QueueAwareWindows(queue.US25Params(), ConstantArrivalRate(vin), 0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyPlan(Config{
+		Route: road.US25(), Vehicle: ev.SparkEV(),
+		StopDwellSec: 2, Windows: wf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalized {
+		t.Fatalf("greedy plan penalized: %+v", res.Arrivals)
+	}
+	if len(res.Arrivals) != 2 {
+		t.Fatalf("arrivals %+v", res.Arrivals)
+	}
+	// Stop sign respected.
+	if v := res.Profile.SpeedAtPos(490); v > 0.6 {
+		t.Fatalf("speed at stop sign %v", v)
+	}
+	// Legal everywhere.
+	if pos, bad := res.Profile.ViolatesLimits(road.US25(), 0.1); bad {
+		t.Fatalf("limit violated at %v", pos)
+	}
+}
+
+func TestGreedyPlanNearDPQuality(t *testing.T) {
+	// The heuristic must land within a modest factor of the DP's weighted
+	// cost — that is its whole claim (speed for a small quality gap).
+	vin := queue.VehPerHour(400)
+	wf, err := QueueAwareWindows(queue.US25Params(), ConstantArrivalRate(vin), 0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coarseUS25(wf)
+	cfg.StopDwellSec = 2
+	dpRes, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRes, err := GreedyPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpCost := dpRes.ChargeAh + 0.0008*dpRes.TripSec
+	gCost := gRes.ChargeAh + 0.0008*gRes.TripSec
+	if gCost > dpCost*1.25 {
+		t.Fatalf("greedy cost %.4f more than 25%% above DP %.4f", gCost, dpCost)
+	}
+}
+
+func TestGreedyPlanValidation(t *testing.T) {
+	if _, err := GreedyPlan(Config{Vehicle: ev.SparkEV()}); err == nil {
+		t.Fatal("nil route accepted")
+	}
+}
+
+func BenchmarkGreedyPlan(b *testing.B) {
+	vin := queue.VehPerHour(400)
+	wf, err := QueueAwareWindows(queue.US25Params(), ConstantArrivalRate(vin), 0, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Route: road.US25(), Vehicle: ev.SparkEV(), StopDwellSec: 2, Windows: wf}
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyPlan(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

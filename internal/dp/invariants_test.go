@@ -1,0 +1,103 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"evvo/internal/ev"
+	"evvo/internal/road"
+)
+
+// TestOptimizeInvariantsOnRandomRoutes fuzzes small random corridors and
+// checks that every returned trajectory satisfies the hard constraints:
+// covers the route, rests at endpoints and stop signs, never exceeds the
+// local speed limit, never exceeds the acceleration bounds, and keeps
+// non-decreasing time and position.
+func TestOptimizeInvariantsOnRandomRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170604))
+	for trial := 0; trial < 25; trial++ {
+		length := 800 + rng.Float64()*2400
+		maxMS := 12 + rng.Float64()*8
+		var controls []road.Control
+		pos := 250 + rng.Float64()*300
+		for pos < length-250 {
+			if rng.Float64() < 0.5 {
+				controls = append(controls, road.Control{
+					Kind: road.ControlStopSign, PositionM: pos,
+					Name: "s",
+				})
+			} else {
+				controls = append(controls, road.Control{
+					Kind: road.ControlSignal, PositionM: pos,
+					Timing: road.SignalTiming{
+						RedSec:    10 + rng.Float64()*30,
+						GreenSec:  15 + rng.Float64()*30,
+						OffsetSec: rng.Float64() * 40,
+					},
+					Name: "l",
+				})
+			}
+			pos += 350 + rng.Float64()*500
+		}
+		for i := range controls {
+			controls[i].Name = controls[i].Name + string(rune('0'+i))
+		}
+		route, err := road.NewRoute(road.RouteConfig{
+			LengthM: length, DefaultMaxMS: maxMS, Controls: controls,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: building route: %v", trial, err)
+		}
+		cfg := Config{
+			Route: route, Vehicle: ev.SparkEV(),
+			DsM: 100, DvMS: 1, DtSec: 2, MaxTripSec: 900,
+			Windows: GreenWindows(0, 1200),
+		}
+		res, err := Optimize(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (len %.0f, %d controls): %v", trial, length, len(controls), err)
+		}
+		pts := res.Profile.Points()
+		if pts[0].V != 0 || pts[len(pts)-1].V != 0 {
+			t.Fatalf("trial %d: endpoints not at rest", trial)
+		}
+		if got := res.Profile.Distance(); got < length-1 {
+			t.Fatalf("trial %d: covered %.1f of %.1f m", trial, got, length)
+		}
+		for i := 1; i < len(pts); i++ {
+			a, b := pts[i-1], pts[i]
+			if b.T < a.T || b.Pos < a.Pos {
+				t.Fatalf("trial %d: non-monotone trajectory at %d", trial, i)
+			}
+			if b.V > maxMS+1e-6 {
+				t.Fatalf("trial %d: speed %.2f above limit %.2f at %.0f m", trial, b.V, maxMS, b.Pos)
+			}
+			dt := b.T - a.T
+			if dt <= 0 {
+				continue
+			}
+			acc := (b.V - a.V) / dt
+			if acc > 2.5+1e-6 || acc < -1.5-1e-6 {
+				t.Fatalf("trial %d: accel %.3f outside bounds at %.0f m", trial, acc, b.Pos)
+			}
+		}
+		for _, c := range route.StopSigns() {
+			// Snapped stop stage: speed must reach zero near the sign.
+			low := res.Profile.SpeedAtPos(snapToGrid(c.PositionM, length, cfg.DsM))
+			if low > 1e-9 {
+				t.Fatalf("trial %d: speed %.3f at stop sign %.0f m", trial, low, c.PositionM)
+			}
+		}
+	}
+}
+
+// snapToGrid mirrors the DP's control snapping for verification.
+func snapToGrid(pos, length, ds float64) float64 {
+	n := int(length/ds + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	step := length / float64(n)
+	idx := int(pos/step + 0.5)
+	return float64(idx) * step
+}

@@ -1,0 +1,68 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DepartureOption is one evaluated departure time.
+type DepartureOption struct {
+	// DepartTime is the absolute departure evaluated.
+	DepartTime float64
+	// Result is the optimized plan for that departure.
+	Result *Result
+}
+
+// SweepDepartures optimizes the same trip for every departure time in
+// [from, to] at the given step and returns the options in departure order.
+// cfg.DepartTime is overridden per evaluation; cfg.Windows should cover the
+// whole sweep horizon. Departures whose optimization fails outright (e.g.
+// an impossible trip budget) abort the sweep with an error.
+//
+// Signal cycles make departure timing matter: leaving a few seconds later
+// can align every signal arrival with a zero-queue window and save both
+// energy and a red-light wait. This extends the paper's system the way its
+// vehicular-cloud framing suggests — the cloud already knows the windows,
+// so it can advise *when* to leave, not just how to drive.
+func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("dp: sweep step %.2f s must be positive", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("dp: sweep range [%.1f, %.1f] inverted", from, to)
+	}
+	var out []DepartureOption
+	for depart := from; depart <= to+1e-9; depart += step {
+		c := cfg
+		c.DepartTime = depart
+		res, err := Optimize(c)
+		if err != nil {
+			return nil, fmt.Errorf("dp: sweep at depart %.1f s: %w", depart, err)
+		}
+		out = append(out, DepartureOption{DepartTime: depart, Result: res})
+	}
+	return out, nil
+}
+
+// BestDeparture picks the option with the lowest charge among non-penalized
+// plans; if every plan is penalized it falls back to the lowest charge
+// overall. An empty slice is an error.
+func BestDeparture(opts []DepartureOption) (DepartureOption, error) {
+	if len(opts) == 0 {
+		return DepartureOption{}, fmt.Errorf("dp: no departure options")
+	}
+	best, bestClean := -1, -1
+	lo, loClean := math.Inf(1), math.Inf(1)
+	for i, o := range opts {
+		if o.Result.ChargeAh < lo {
+			lo, best = o.Result.ChargeAh, i
+		}
+		if !o.Result.Penalized && o.Result.ChargeAh < loClean {
+			loClean, bestClean = o.Result.ChargeAh, i
+		}
+	}
+	if bestClean >= 0 {
+		return opts[bestClean], nil
+	}
+	return opts[best], nil
+}

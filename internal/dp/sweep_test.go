@@ -1,0 +1,105 @@
+package dp
+
+import (
+	"testing"
+
+	"evvo/internal/queue"
+)
+
+func TestSweepDeparturesValidation(t *testing.T) {
+	cfg := coarseUS25(nil)
+	if _, err := SweepDepartures(cfg, 0, 60, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := SweepDepartures(cfg, 60, 0, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSweepDeparturesCoversRange(t *testing.T) {
+	cfg := coarseUS25(GreenWindows(0, 900))
+	opts, err := SweepDepartures(cfg, 0, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 3 {
+		t.Fatalf("got %d options, want 3", len(opts))
+	}
+	for i, want := range []float64{0, 25, 50} {
+		if opts[i].DepartTime != want {
+			t.Fatalf("option %d departs at %v, want %v", i, opts[i].DepartTime, want)
+		}
+		if opts[i].Result == nil || opts[i].Result.ChargeAh <= 0 {
+			t.Fatalf("option %d has no usable result", i)
+		}
+	}
+}
+
+func TestSweepDeparturesPropagatesFailure(t *testing.T) {
+	cfg := coarseUS25(nil)
+	cfg.MaxTripSec = 60 // impossible budget
+	if _, err := SweepDepartures(cfg, 0, 10, 10); err == nil {
+		t.Fatal("impossible sweep did not error")
+	}
+}
+
+func TestBestDeparturePrefersClean(t *testing.T) {
+	cheapPenalized := &Result{ChargeAh: 0.1, Penalized: true}
+	cleanCostly := &Result{ChargeAh: 0.3}
+	opts := []DepartureOption{
+		{DepartTime: 0, Result: cheapPenalized},
+		{DepartTime: 10, Result: cleanCostly},
+	}
+	best, err := BestDeparture(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.DepartTime != 10 {
+		t.Fatalf("picked penalized option: %+v", best)
+	}
+}
+
+func TestBestDepartureFallsBackWhenAllPenalized(t *testing.T) {
+	opts := []DepartureOption{
+		{DepartTime: 0, Result: &Result{ChargeAh: 0.3, Penalized: true}},
+		{DepartTime: 10, Result: &Result{ChargeAh: 0.2, Penalized: true}},
+	}
+	best, err := BestDeparture(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.DepartTime != 10 {
+		t.Fatalf("fallback picked %+v, want the cheaper plan", best)
+	}
+	if _, err := BestDeparture(nil); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+func TestSweepFindsBetterDepartureUnderQueues(t *testing.T) {
+	// With queue-aware windows, some departures align better with T_q than
+	// others; the sweep must expose a real spread.
+	wf, err := QueueAwareWindows(queue.US25Params(),
+		ConstantArrivalRate(queue.VehPerHour(400)), 0, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coarseUS25(wf)
+	opts, err := SweepDepartures(cfg, 0, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestDeparture(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, o := range opts {
+		if !o.Result.Penalized && o.Result.ChargeAh > worst {
+			worst = o.Result.ChargeAh
+		}
+	}
+	if best.Result.ChargeAh >= worst {
+		t.Fatalf("sweep found no spread: best %v, worst clean %v", best.Result.ChargeAh, worst)
+	}
+}

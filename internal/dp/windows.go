@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// GreenWindows returns a WindowsFunc admitting any arrival during a green
+// phase within [from, to) — the "current DP method" the paper compares
+// against (green-signal aware, queue-blind).
+func GreenWindows(from, to float64) WindowsFunc {
+	return func(c road.Control) []queue.Window {
+		if c.Kind != road.ControlSignal {
+			return nil
+		}
+		m := queue.Model{Timing: c.Timing}
+		return m.GreenWindowsAbs(from, to)
+	}
+}
+
+// ArrivalRateFunc supplies the predicted vehicle arrival rate (veh/s) at a
+// signal — typically the SAE traffic predictor, or a constant for
+// closed-form studies.
+type ArrivalRateFunc func(c road.Control) float64
+
+// ConstantArrivalRate returns the same arrival rate for every signal.
+func ConstantArrivalRate(vin float64) ArrivalRateFunc {
+	return func(road.Control) float64 { return vin }
+}
+
+// QueueAwareWindows returns a WindowsFunc admitting only arrivals inside
+// the zero-queue windows T_q predicted by the QL model (the paper's
+// contribution). Signals whose queue never clears (oversaturation) yield an
+// empty, non-nil window set: every arrival there is penalized and the
+// result is flagged Penalized.
+func QueueAwareWindows(p queue.Params, vin ArrivalRateFunc, from, to float64) (WindowsFunc, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return func(c road.Control) []queue.Window {
+		if c.Kind != road.ControlSignal {
+			return nil
+		}
+		m, err := queue.NewModel(p, c.Timing)
+		if err != nil {
+			return []queue.Window{} // invalid timing: treat as never admissible
+		}
+		ws := m.ZeroWindowsAbs(vin(c), from, to)
+		if ws == nil {
+			return []queue.Window{}
+		}
+		return ws
+	}, nil
+}
+
+// IntegratedQueueWindows predicts T_q by numerically integrating the QL
+// model under a time-varying arrival rate (e.g. straight from the SAE
+// predictor), carrying residual queues across cycles. warmupSec of queue
+// build-up is simulated before `from` so the state at `from` is realistic.
+func IntegratedQueueWindows(p queue.Params, rate func(c road.Control) queue.RateFunc,
+	from, to, warmupSec, dtSec float64) (WindowsFunc, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return func(c road.Control) []queue.Window {
+		if c.Kind != road.ControlSignal {
+			return nil
+		}
+		m, err := queue.NewModel(p, c.Timing)
+		if err != nil {
+			return []queue.Window{}
+		}
+		samples, err := m.Integrate(rate(c), from-warmupSec, to, dtSec)
+		if err != nil {
+			return []queue.Window{}
+		}
+		var out []queue.Window
+		for _, w := range queue.ZeroWindowsIntegrated(samples, 1e-6) {
+			if w.End <= from {
+				continue
+			}
+			if w.Start < from {
+				w.Start = from
+			}
+			out = append(out, w)
+		}
+		if out == nil {
+			return []queue.Window{}
+		}
+		return out
+	}, nil
+}

@@ -1,0 +1,405 @@
+package ev
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSparkEVValidates(t *testing.T) {
+	if err := SparkEV().Validate(); err != nil {
+		t.Fatalf("SparkEV() invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := SparkEV()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero mass", func(p *Params) { p.MassKg = 0 }},
+		{"negative mass", func(p *Params) { p.MassKg = -1 }},
+		{"zero frontal area", func(p *Params) { p.FrontalAreaM2 = 0 }},
+		{"negative drag", func(p *Params) { p.DragCoeff = -0.1 }},
+		{"negative roll", func(p *Params) { p.RollCoeff = -0.01 }},
+		{"zero air density", func(p *Params) { p.AirDensity = 0 }},
+		{"zero voltage", func(p *Params) { p.PackVoltage = 0 }},
+		{"zero capacity", func(p *Params) { p.PackCapacityAh = 0 }},
+		{"battery eta zero", func(p *Params) { p.EtaBattery = 0 }},
+		{"battery eta above one", func(p *Params) { p.EtaBattery = 1.01 }},
+		{"powertrain eta zero", func(p *Params) { p.EtaPowertrain = 0 }},
+		{"powertrain eta above one", func(p *Params) { p.EtaPowertrain = 1.2 }},
+		{"regen negative", func(p *Params) { p.EtaRegen = -0.1 }},
+		{"regen above one", func(p *Params) { p.EtaRegen = 1.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate() accepted %+v", p)
+			}
+		})
+	}
+}
+
+func TestDriveForceAtRestIsZeroOnFlat(t *testing.T) {
+	p := SparkEV()
+	if f := p.DriveForce(0, 0, 0); f != 0 {
+		t.Fatalf("DriveForce(0,0,0) = %.3f N, want 0 (no phantom holding force)", f)
+	}
+}
+
+func TestDriveForceComponents(t *testing.T) {
+	p := SparkEV()
+	// At constant speed on flat ground, force = aero + rolling.
+	v := 20.0
+	aero := 0.5 * p.AirDensity * p.FrontalAreaM2 * p.DragCoeff * v * v
+	roll := p.RollCoeff * p.MassKg * Gravity
+	got := p.DriveForce(v, 0, 0)
+	if !almostEqual(got, aero+roll, 1e-9) {
+		t.Fatalf("DriveForce(%v,0,0) = %.6f, want aero+roll = %.6f", v, got, aero+roll)
+	}
+}
+
+func TestDriveForceInertialTerm(t *testing.T) {
+	p := SparkEV()
+	v, a := 15.0, 1.0
+	withAccel := p.DriveForce(v, a, 0)
+	coasting := p.DriveForce(v, 0, 0)
+	if !almostEqual(withAccel-coasting, p.MassKg*a, 1e-9) {
+		t.Fatalf("inertial term = %.4f, want m*a = %.4f", withAccel-coasting, p.MassKg*a)
+	}
+}
+
+func TestDriveForceGradeTerm(t *testing.T) {
+	p := SparkEV()
+	v := 10.0
+	theta := 0.05 // ~2.9% grade
+	up := p.DriveForce(v, 0, theta)
+	flat := p.DriveForce(v, 0, 0)
+	wantExtra := p.MassKg*Gravity*math.Sin(theta) + p.RollCoeff*p.MassKg*Gravity*(math.Cos(theta)-1)
+	if !almostEqual(up-flat, wantExtra, 1e-9) {
+		t.Fatalf("grade delta = %.4f, want %.4f", up-flat, wantExtra)
+	}
+}
+
+func TestDriveForceDownhillCanBeNegative(t *testing.T) {
+	p := SparkEV()
+	// Steep downhill, slow speed: gravity dominates.
+	f := p.DriveForce(2, 0, -0.15)
+	if f >= 0 {
+		t.Fatalf("DriveForce downhill = %.3f N, want negative", f)
+	}
+}
+
+func TestChargeRateSignConvention(t *testing.T) {
+	p := SparkEV()
+	if z := p.ChargeRate(20, 1.0, 0); z <= 0 {
+		t.Fatalf("accelerating charge rate = %.4f A, want positive", z)
+	}
+	if z := p.ChargeRate(20, -1.5, 0); z >= 0 {
+		t.Fatalf("hard-braking charge rate = %.4f A, want negative (regen)", z)
+	}
+}
+
+func TestChargeRateEfficiencyDirection(t *testing.T) {
+	p := SparkEV()
+	// Traction: consumption exceeds the ideal F·v/U because η < 1.
+	v, a := 20.0, 0.5
+	ideal := p.TractivePower(v, a, 0) / p.PackVoltage
+	if z := p.ChargeRate(v, a, 0); z <= ideal {
+		t.Fatalf("traction ζ = %.4f, want > ideal %.4f (efficiency loss)", z, ideal)
+	}
+	// Regen: recovered charge is less than the ideal |F·v|/U.
+	a = -1.5
+	idealRegen := -p.TractivePower(v, a, 0) / p.PackVoltage // positive magnitude
+	if got := -p.ChargeRate(v, a, 0); got >= idealRegen {
+		t.Fatalf("regen recovery %.4f, want < ideal %.4f", got, idealRegen)
+	}
+}
+
+func TestChargeRateIncreasesWithAcceleration(t *testing.T) {
+	p := SparkEV()
+	v := 15.0
+	prev := math.Inf(-1)
+	for a := -1.5; a <= 2.5; a += 0.25 {
+		z := p.ChargeRate(v, a, 0)
+		if z < prev {
+			t.Fatalf("ζ not monotone in a at v=%v: ζ(%.2f)=%.4f < ζ(prev)=%.4f", v, a, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestChargeRateZeroRegenEfficiency(t *testing.T) {
+	p := SparkEV()
+	p.EtaRegen = 0
+	if z := p.ChargeRate(20, -1.5, 0); z != 0 {
+		t.Fatalf("ζ with EtaRegen=0 braking = %.5f, want 0", z)
+	}
+}
+
+func TestChargeIntegratesRate(t *testing.T) {
+	p := SparkEV()
+	v, a, dt := 18.0, 0.3, 7.0
+	want := p.ChargeRate(v, a, 0) * dt / 3600
+	if got := p.Charge(v, a, 0, dt); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Charge = %.9f Ah, want %.9f", got, want)
+	}
+}
+
+func TestEnergyJoulesConsistentWithCharge(t *testing.T) {
+	p := SparkEV()
+	ah := p.Charge(22, 0.8, 0, 10)
+	j := p.EnergyJoules(22, 0.8, 0, 10)
+	if !almostEqual(j, ah*3600*p.PackVoltage, 1e-9) {
+		t.Fatalf("EnergyJoules = %.4f, want %.4f", j, ah*3600*p.PackVoltage)
+	}
+}
+
+func TestPackEnergyJoules(t *testing.T) {
+	p := SparkEV()
+	want := 399.0 * 46.2 * 3600
+	if got := p.PackEnergyJoules(); !almostEqual(got, want, 1e-6) {
+		t.Fatalf("PackEnergyJoules = %.1f, want %.1f", got, want)
+	}
+}
+
+func TestSegmentChargeBasic(t *testing.T) {
+	p := SparkEV()
+	ah, dt, err := p.SegmentCharge(10, 14, 120, 0)
+	if err != nil {
+		t.Fatalf("SegmentCharge: %v", err)
+	}
+	wantDt := 120.0 / 12.0
+	if !almostEqual(dt, wantDt, 1e-12) {
+		t.Fatalf("dt = %.6f, want %.6f", dt, wantDt)
+	}
+	wantAh := p.Charge(12, 4.0/wantDt, 0, wantDt)
+	if !almostEqual(ah, wantAh, 1e-12) {
+		t.Fatalf("ah = %.9f, want %.9f", ah, wantAh)
+	}
+}
+
+func TestSegmentChargeZeroLength(t *testing.T) {
+	p := SparkEV()
+	ah, dt, err := p.SegmentCharge(5, 5, 0, 0)
+	if err != nil || ah != 0 || dt != 0 {
+		t.Fatalf("SegmentCharge zero length = (%v, %v, %v), want (0, 0, nil)", ah, dt, err)
+	}
+}
+
+func TestSegmentChargeUnreachable(t *testing.T) {
+	p := SparkEV()
+	if _, _, err := p.SegmentCharge(0, 0, 50, 0); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("SegmentCharge(0,0,50) err = %v, want ErrUnreachable", err)
+	}
+	if _, _, err := p.SegmentCharge(1, 1, -3, 0); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("SegmentCharge negative length err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestStateOfChargeTracksConsumption(t *testing.T) {
+	p := SparkEV()
+	soc := NewStateOfCharge(p)
+	if f := soc.Fraction(); f != 1 {
+		t.Fatalf("initial Fraction = %v, want 1", f)
+	}
+	soc.Consume(4.62) // 10% of pack
+	if f := soc.Fraction(); !almostEqual(f, 0.9, 1e-12) {
+		t.Fatalf("Fraction after 10%% draw = %v, want 0.9", f)
+	}
+	if u := soc.UsedAh(); !almostEqual(u, 4.62, 1e-12) {
+		t.Fatalf("UsedAh = %v, want 4.62", u)
+	}
+}
+
+func TestStateOfChargeRegenClampsAtFull(t *testing.T) {
+	soc := NewStateOfCharge(SparkEV())
+	soc.Consume(-5) // regen on a full pack
+	if f := soc.Fraction(); f != 1 {
+		t.Fatalf("Fraction after regen on full pack = %v, want 1", f)
+	}
+}
+
+func TestStateOfChargeFloorsAtEmpty(t *testing.T) {
+	soc := NewStateOfCharge(SparkEV())
+	soc.Consume(1000)
+	if f := soc.Fraction(); f != 0 {
+		t.Fatalf("Fraction after over-draw = %v, want 0", f)
+	}
+}
+
+func TestKmPerKWh(t *testing.T) {
+	// 1 km on 0.1 kWh => 10 km/kWh.
+	if got := KmPerKWh(1000, 3.6e5); !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("KmPerKWh = %v, want 10", got)
+	}
+	if got := KmPerKWh(1000, 0); !math.IsInf(got, 1) {
+		t.Fatalf("KmPerKWh with zero energy = %v, want +Inf", got)
+	}
+	if got := KmPerKWh(0, 0); got != 0 {
+		t.Fatalf("KmPerKWh(0,0) = %v, want 0", got)
+	}
+}
+
+// Property: drive force is exactly linear in acceleration.
+func TestPropDriveForceLinearInAcceleration(t *testing.T) {
+	p := SparkEV()
+	f := func(v, a1, a2 float64) bool {
+		// Avoid the (v=0, a=0) standstill corner, where rolling resistance
+		// is deliberately zeroed and linearity in a does not hold.
+		v = math.Mod(math.Abs(v), 40) + 0.01
+		a1 = math.Mod(a1, 3)
+		a2 = math.Mod(a2, 3)
+		d := p.DriveForce(v, a1, 0) - p.DriveForce(v, a2, 0)
+		return almostEqual(d, p.MassKg*(a1-a2), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aero drag is even in v only through v²; force grows with speed
+// at fixed non-negative acceleration.
+func TestPropDriveForceMonotoneInSpeed(t *testing.T) {
+	p := SparkEV()
+	f := func(v float64, dv float64) bool {
+		v = math.Mod(math.Abs(v), 40)
+		dv = math.Mod(math.Abs(dv), 10) + 0.01
+		return p.DriveForce(v+dv, 0.5, 0) > p.DriveForce(v, 0.5, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: charge over an interval scales linearly with duration.
+func TestPropChargeLinearInTime(t *testing.T) {
+	p := SparkEV()
+	f := func(v, a, dt float64) bool {
+		v = math.Mod(math.Abs(v), 40)
+		a = math.Mod(a, 2.5)
+		dt = math.Mod(math.Abs(dt), 100) + 0.1
+		twice := p.Charge(v, a, 0, 2*dt)
+		once := p.Charge(v, a, 0, dt)
+		return almostEqual(twice, 2*once, 1e-9*math.Max(1, math.Abs(twice)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: regen never recovers more than traction spent over the same
+// speed change magnitude (second law sanity).
+func TestPropRegenNeverExceedsTraction(t *testing.T) {
+	p := SparkEV()
+	f := func(v, a float64) bool {
+		v = math.Mod(math.Abs(v), 40) + 1
+		a = math.Mod(math.Abs(a), 1.5) + 0.01
+		spend := p.ChargeRate(v, a, 0)
+		recover := -p.ChargeRate(v, -a, 0)
+		return recover < spend
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChargeRate(b *testing.B) {
+	p := SparkEV()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.ChargeRate(20, 0.5, 0.01)
+	}
+	_ = sink
+}
+
+func TestWithinPowerLimit(t *testing.T) {
+	p := SparkEV()
+	// Modest point: well inside a 100 kW envelope.
+	if !p.WithinPowerLimit(15, 1.0, 0) {
+		t.Fatal("15 m/s at 1 m/s² should be within 100 kW")
+	}
+	// Extreme point: 2.5 m/s² at 30 m/s needs ≈ (3250+900)·30 ≈ 120 kW.
+	if p.WithinPowerLimit(30, 2.5, 0) {
+		t.Fatal("30 m/s at 2.5 m/s² should exceed 100 kW")
+	}
+	// Braking is never power-infeasible (friction brakes).
+	if !p.WithinPowerLimit(30, -3.0, 0) {
+		t.Fatal("braking flagged as power-infeasible")
+	}
+	// Unlimited configuration.
+	p.MaxPowerKW = 0
+	if !p.WithinPowerLimit(30, 2.5, 0) {
+		t.Fatal("unlimited power flagged a point")
+	}
+}
+
+func TestMaxAccelAt(t *testing.T) {
+	p := SparkEV()
+	a := p.MaxAccelAt(20, 0)
+	if a <= 0 || math.IsInf(a, 1) {
+		t.Fatalf("MaxAccelAt(20) = %v, want finite positive", a)
+	}
+	// The returned accel must sit exactly on the power envelope.
+	if pw := p.TractivePower(20, a, 0); !almostEqual(pw, p.MaxPowerKW*1000, 1) {
+		t.Fatalf("power at returned accel = %v W, want %v", pw, p.MaxPowerKW*1000)
+	}
+	if !math.IsInf(p.MaxAccelAt(0, 0), 1) {
+		t.Fatal("launch accel should be unbounded by power in this model")
+	}
+	p.MaxPowerKW = 0
+	if !math.IsInf(p.MaxAccelAt(20, 0), 1) {
+		t.Fatal("unlimited power should give +Inf")
+	}
+}
+
+// Property: MaxAccelAt is decreasing in speed (fixed power envelope).
+func TestPropMaxAccelDecreasingInSpeed(t *testing.T) {
+	p := SparkEV()
+	f := func(vRaw, dvRaw float64) bool {
+		v := math.Mod(math.Abs(vRaw), 30) + 1
+		dv := math.Mod(math.Abs(dvRaw), 10) + 0.1
+		return p.MaxAccelAt(v+dv, 0) < p.MaxAccelAt(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegativePowerLimits(t *testing.T) {
+	p := SparkEV()
+	p.MaxPowerKW = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative power limit accepted")
+	}
+}
+
+func TestRegenPowerCap(t *testing.T) {
+	p := SparkEV()
+	// A braking point beyond the 60 kW regen cap: 3 m/s² at 30 m/s is
+	// ≈ (−3900+1350)·30 ≈ −77 kW at the wheels.
+	uncapped := p
+	uncapped.MaxRegenPowerKW = 0
+	capped := -p.ChargeRate(30, -3.5, 0)
+	free := -uncapped.ChargeRate(30, -3.5, 0)
+	if capped >= free {
+		t.Fatalf("regen cap did not bind: capped %v, uncapped %v", capped, free)
+	}
+	wantMax := p.MaxRegenPowerKW * 1000 * p.EtaBattery * p.EtaPowertrain * p.EtaRegen / p.PackVoltage
+	if capped > wantMax+1e-9 {
+		t.Fatalf("capped recovery %v exceeds envelope %v", capped, wantMax)
+	}
+	// A gentle braking point stays below the cap: identical either way.
+	if a, b := p.ChargeRate(15, -1.0, 0), uncapped.ChargeRate(15, -1.0, 0); a != b {
+		t.Fatalf("cap affected a sub-cap point: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,35 @@
+package ev_test
+
+import (
+	"fmt"
+
+	"evvo/internal/ev"
+)
+
+// ExampleParams_ChargeRate evaluates the paper's Eq. (3) at a traction
+// point and a regenerative-braking point.
+func ExampleParams_ChargeRate() {
+	spark := ev.SparkEV()
+	accel := spark.ChargeRate(15, 1.0, 0)  // 54 km/h, accelerating
+	brake := spark.ChargeRate(15, -1.5, 0) // 54 km/h, braking hard
+	fmt.Printf("accelerating: %.1f A\n", accel)
+	fmt.Printf("braking:      %.1f A (negative = regeneration)\n", brake)
+	// Output:
+	// accelerating: 71.6 A
+	// braking:      -33.9 A (negative = regeneration)
+}
+
+// ExampleWearModel_StepWear compares the battery wear of moving the same
+// charge gently versus violently — the lifetime motivation of the paper's
+// introduction.
+func ExampleWearModel_StepWear() {
+	m, err := ev.NewWearModel(ev.SparkEV())
+	if err != nil {
+		panic(err)
+	}
+	gentle := m.StepWear(20, 100) // 20 A for 100 s
+	harsh := m.StepWear(200, 10)  // the same 2000 A·s at ten times the rate
+	fmt.Printf("harsh draw wears %.2fx more than gentle\n", harsh/gentle)
+	// Output:
+	// harsh draw wears 2.60x more than gentle
+}

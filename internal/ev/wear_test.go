@@ -1,0 +1,119 @@
+package ev
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWearModelValidation(t *testing.T) {
+	if _, err := NewWearModel(Params{}); err == nil {
+		t.Fatal("invalid pack accepted")
+	}
+	m, err := NewWearModel(SparkEV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StressK != 0.5 {
+		t.Fatalf("default StressK = %v", m.StressK)
+	}
+}
+
+func TestStepWearBasics(t *testing.T) {
+	m, _ := NewWearModel(SparkEV())
+	if w := m.StepWear(10, 0); w != 0 {
+		t.Fatalf("zero-duration wear = %v", w)
+	}
+	if w := m.StepWear(0, 100); w != 0 {
+		t.Fatalf("zero-current wear = %v", w)
+	}
+	// Symmetric in sign: regen moves charge too.
+	if a, b := m.StepWear(20, 10), m.StepWear(-20, 10); a != b {
+		t.Fatalf("wear asymmetric in sign: %v vs %v", a, b)
+	}
+}
+
+func TestStepWearFullCycleCalibration(t *testing.T) {
+	// Moving 2·Q ampere-hours at negligible C-rate is one full cycle.
+	m, _ := NewWearModel(SparkEV())
+	m.StressK = 0
+	q := m.Pack.PackCapacityAh
+	// Draw 1 A for 2·Q hours.
+	w := m.StepWear(1, 2*q*3600)
+	if math.Abs(w-1) > 1e-9 {
+		t.Fatalf("full-cycle wear = %v, want 1", w)
+	}
+}
+
+func TestStepWearCRateStress(t *testing.T) {
+	// The same charge moved at double the C-rate must wear more.
+	m, _ := NewWearModel(SparkEV())
+	slow := m.StepWear(10, 200) // 2000 A·s
+	fast := m.StepWear(20, 100) // 2000 A·s, twice the rate
+	if fast <= slow {
+		t.Fatalf("high C-rate wear %v not above low-rate %v", fast, slow)
+	}
+}
+
+func TestSegmentWear(t *testing.T) {
+	m, _ := NewWearModel(SparkEV())
+	w, err := m.SegmentWear(10, 14, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 {
+		t.Fatalf("accelerating segment wear = %v", w)
+	}
+	if _, err := m.SegmentWear(0, 0, 100, 0); err == nil {
+		t.Fatal("unreachable segment accepted")
+	}
+	if w, err := m.SegmentWear(5, 5, 0, 0); err != nil || w != 0 {
+		t.Fatalf("zero-length segment = (%v, %v)", w, err)
+	}
+	if _, err := m.SegmentWear(5, 5, -1, 0); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestLifetimeFraction(t *testing.T) {
+	if f := LifetimeFraction(CyclesToEndOfLife); f != 1 {
+		t.Fatalf("full-life fraction = %v", f)
+	}
+	if f := LifetimeFraction(15); math.Abs(f-0.01) > 1e-12 {
+		t.Fatalf("15 cycles = %v of life, want 0.01", f)
+	}
+}
+
+// Property: wear is additive over time splits.
+func TestPropWearAdditive(t *testing.T) {
+	m, _ := NewWearModel(SparkEV())
+	f := func(zRaw, dtRaw float64) bool {
+		z := math.Mod(zRaw, 200)
+		dt := math.Mod(math.Abs(dtRaw), 100) + 0.1
+		whole := m.StepWear(z, dt)
+		halves := m.StepWear(z, dt/2) * 2
+		return math.Abs(whole-halves) < 1e-12*math.Max(1, whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wear is strictly increasing in |ζ| (superlinear with stress).
+func TestPropWearMonotoneInCurrent(t *testing.T) {
+	m, _ := NewWearModel(SparkEV())
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 300)
+		b := math.Mod(math.Abs(bRaw), 300)
+		if a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return m.StepWear(a, 10) < m.StepWear(b, 10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/profile"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/sim"
+	"evvo/internal/trasi"
+)
+
+// ProfileKind names the four velocity profiles the paper compares.
+type ProfileKind string
+
+// The compared profiles.
+const (
+	KindMild      ProfileKind = "mild driving"
+	KindFast      ProfileKind = "fast driving"
+	KindCurrentDP ProfileKind = "current DP"
+	KindProposed  ProfileKind = "proposed DP"
+)
+
+// ComparisonItem is one profile's planned and executed trajectories with
+// its evaluation.
+type ComparisonItem struct {
+	Kind ProfileKind
+	// Planned is the open-loop profile (human drive or DP plan).
+	Planned *profile.Profile
+	// Executed is the microsim-executed trajectory (DP plans only; for
+	// human drives Executed == Planned, as the paper's collected traces
+	// are direct recordings).
+	Executed *profile.Profile
+	// EnergyMAh is the ev-model energy of the Executed trajectory.
+	EnergyMAh float64
+	// TripSec is the Executed duration.
+	TripSec float64
+	// Stops counts full stops in signal areas — stops at the mandatory
+	// stop sign (which every profile makes) and at the endpoints are
+	// excluded, matching the paper's "no stops at traffic lights" claim.
+	Stops int
+	// SlowestSignalMS is the minimum executed speed within the signal
+	// approach areas (150 m before to 50 m past each light): the paper's
+	// Fig. 6 contrast is that the current DP decelerates hard there while
+	// the proposed DP passes at speed.
+	SlowestSignalMS float64
+	// WearMilliCycles is the battery wear of the executed trajectory in
+	// thousandths of an equivalent full cycle — the lifetime angle the
+	// paper's introduction motivates.
+	WearMilliCycles float64
+}
+
+// ComparisonResult backs Figs. 6, 7 and 8: the four profiles on the US-25
+// corridor under identical traffic.
+type ComparisonResult struct {
+	Items []ComparisonItem
+	// DepartTime is the common absolute departure time.
+	DepartTime float64
+}
+
+// Item returns the item of the given kind.
+func (r *ComparisonResult) Item(k ProfileKind) (ComparisonItem, error) {
+	for _, it := range r.Items {
+		if it.Kind == k {
+			return it, nil
+		}
+	}
+	return ComparisonItem{}, fmt.Errorf("experiments: no %q item", k)
+}
+
+// Comparison produces the four profiles: mild and fast reference drives
+// (with queue-delay dwell at red lights, as the collected traces
+// experienced), and the current-DP and proposed-DP plans executed in the
+// microsimulator through the trasi socket protocol against identical
+// background traffic.
+func Comparison(fid Fidelity) (*ComparisonResult, error) {
+	if err := fid.Validate(); err != nil {
+		return nil, err
+	}
+	route := road.US25()
+	qp := queue.US25Params()
+	// Corridor-level inflow for the trace-driven runs. The 153 veh/h of
+	// Fig. 5 is the measured straight-through arrival rate at one light;
+	// the corridor the paper rebuilt in SUMO from hourly count data
+	// carries more total traffic. 400 veh/h keeps every signal
+	// undersaturated while producing queues of a few vehicles per cycle.
+	vin := queue.VehPerHour(400)
+	// Departure phase matters: at 30 s the energy-optimal free-flow
+	// arrival at light-1 lands late in a red phase, so the green-window
+	// DP waits for the next green and reaches the light right at green
+	// onset — exactly when the standing queue is still discharging (the
+	// situation of the paper's Fig. 6(a)). The queue-aware DP instead
+	// targets the zero-queue window a few seconds later. The same
+	// departure puts the human reference drives into representative
+	// red-light encounters (each stops once).
+	const depart = 30.0
+	horizon := depart + 800
+
+	// Queue-delay model for the human drivers: a driver stopped at a red
+	// light can only move once the queue ahead has discharged.
+	qdelay := func(c road.Control, _ float64) float64 {
+		m, err := queue.NewModel(qp, c.Timing)
+		if err != nil {
+			return 0
+		}
+		clear, ok := m.QueueClearTime(vin)
+		if !ok {
+			return 0
+		}
+		return math.Max(0, clear-c.Timing.RedSec)
+	}
+
+	mild, err := profile.Drive(profile.DriveConfig{
+		Route: route, Style: profile.Mild(), DepartTime: depart, QueueDelay: qdelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mild drive: %w", err)
+	}
+	fast, err := profile.Drive(profile.DriveConfig{
+		Route: route, Style: profile.Fast(), DepartTime: depart, QueueDelay: qdelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fast drive: %w", err)
+	}
+
+	dpCfg := dp.Config{
+		Route: route, Vehicle: vehicleParams(), DepartTime: depart,
+		MaxTripSec: 600, StopDwellSec: 2,
+	}
+	if fid == FidelityFast {
+		dpCfg.DsM, dpCfg.DvMS, dpCfg.DtSec = 100, 1, 2
+	} else {
+		dpCfg.DsM, dpCfg.DvMS, dpCfg.DtSec = 50, 0.5, 1
+	}
+
+	greenCfg := dpCfg
+	greenCfg.Windows = dp.GreenWindows(depart, horizon)
+	currentPlan, err := dp.Optimize(greenCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: current DP: %w", err)
+	}
+
+	qaWindows, err := dp.QueueAwareWindows(qp, dp.ConstantArrivalRate(vin), depart, horizon)
+	if err != nil {
+		return nil, err
+	}
+	qaCfg := dpCfg
+	qaCfg.Windows = qaWindows
+	// The VM model ignores per-vehicle start-up reaction delays, so real
+	// queues discharge slightly later than T_q predicts; a wider start
+	// margin absorbs that model-vs-reality gap. The end margin keeps the
+	// plan clear of the green→red edge under execution drift — the
+	// deployable queue-aware system carries both safety margins, while
+	// the green-window baseline (like the GLOSA-style prior work it
+	// stands in for) has no queue or drift model at all.
+	qaCfg.WindowMarginSec = 3
+	qaCfg.WindowEndMarginSec = 6
+	proposedPlan, err := dp.Optimize(qaCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: proposed DP: %w", err)
+	}
+
+	currentExec, err := ReplayInSim(route, currentPlan.Profile, ReplayConfig{
+		DepartTime: depart, ArrivalRate: vin, StraightRatio: qp.StraightRatio, Seed: 99,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: executing current DP: %w", err)
+	}
+	proposedExec, err := ReplayInSim(route, proposedPlan.Profile, ReplayConfig{
+		DepartTime: depart, ArrivalRate: vin, StraightRatio: qp.StraightRatio, Seed: 99,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: executing proposed DP: %w", err)
+	}
+
+	wearModel, err := ev.NewWearModel(vehicleParams())
+	if err != nil {
+		return nil, err
+	}
+	res := &ComparisonResult{DepartTime: depart}
+	add := func(kind ProfileKind, planned, executed *profile.Profile) error {
+		mah, err := executed.EnergyMAh(vehicleParams(), route.GradeAt)
+		if err != nil {
+			return err
+		}
+		wear, err := executed.Wear(wearModel, route.GradeAt)
+		if err != nil {
+			return err
+		}
+		res.Items = append(res.Items, ComparisonItem{
+			Kind: kind, Planned: planned, Executed: executed,
+			EnergyMAh: mah, TripSec: executed.Duration(),
+			Stops:           signalAreaStops(executed, route),
+			SlowestSignalMS: slowestNearSignals(executed, route),
+			WearMilliCycles: wear * 1000,
+		})
+		return nil
+	}
+	if err := add(KindMild, mild, mild); err != nil {
+		return nil, err
+	}
+	if err := add(KindFast, fast, fast); err != nil {
+		return nil, err
+	}
+	if err := add(KindCurrentDP, currentPlan.Profile, currentExec); err != nil {
+		return nil, err
+	}
+	if err := add(KindProposed, proposedPlan.Profile, proposedExec); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// signalAreaStops counts the executed profile's full stops (≥ 2 s below
+// 0.3 m/s) that are not at a stop sign, i.e. stops caused by signals or
+// queues.
+func signalAreaStops(p *profile.Profile, route *road.Route) int {
+	stops := 0
+	pts := p.Points()
+	var start float64
+	in := false
+	atSign := func(pos float64) bool {
+		for _, c := range route.StopSigns() {
+			if math.Abs(pos-c.PositionM) < 30 {
+				return true
+			}
+		}
+		return false
+	}
+	var stopPos float64
+	for _, pt := range pts {
+		stopped := pt.V <= 0.3
+		switch {
+		case stopped && !in:
+			in, start, stopPos = true, pt.T, pt.Pos
+		case !stopped && in:
+			in = false
+			if pt.T-start >= 2 && start > pts[0].T+1e-9 && !atSign(stopPos) {
+				stops++
+			}
+		}
+	}
+	return stops
+}
+
+// slowestNearSignals returns the minimum speed within any signal approach
+// area (150 m before to 50 m past the stop line).
+func slowestNearSignals(p *profile.Profile, route *road.Route) float64 {
+	min := math.Inf(1)
+	for _, sig := range route.Signals() {
+		for _, pt := range p.Points() {
+			if pt.Pos > sig.PositionM-150 && pt.Pos < sig.PositionM+50 && pt.V < min {
+				min = pt.V
+			}
+		}
+	}
+	return min
+}
+
+// ReplayConfig parameterizes ReplayInSim.
+type ReplayConfig struct {
+	// DepartTime is when the EV enters the corridor.
+	DepartTime float64
+	// WarmupSec of background traffic precedes the departure (default 120).
+	WarmupSec float64
+	// ArrivalRate is the background arrival rate (veh/s).
+	ArrivalRate float64
+	// StraightRatio is the γ split at signals.
+	StraightRatio float64
+	// Seed drives the simulation.
+	Seed int64
+	// LookaheadM is how far ahead of the EV's position the plan's speed is
+	// sampled as the command (default 8 m).
+	LookaheadM float64
+	// MaxTripSec aborts a stuck replay (default 1200).
+	MaxTripSec float64
+}
+
+// ReplayInSim executes a planned velocity profile in the microsimulator
+// through the trasi socket protocol (as the paper replayed DP profiles in
+// SUMO via TraCI) and returns the executed trajectory. The command at each
+// tick is the plan's speed a little ahead of the EV's actual position, so
+// queue-induced delays do not desynchronize the replay; the simulator's
+// safety layer (leaders, red lights, stop signs) may override commands.
+func ReplayInSim(route *road.Route, plan *profile.Profile, cfg ReplayConfig) (*profile.Profile, error) {
+	if route == nil || plan == nil {
+		return nil, fmt.Errorf("experiments: replay needs a route and a plan")
+	}
+	if cfg.WarmupSec == 0 {
+		cfg.WarmupSec = 120
+	}
+	if cfg.LookaheadM == 0 {
+		cfg.LookaheadM = 8
+	}
+	if cfg.MaxTripSec == 0 {
+		cfg.MaxTripSec = 1200
+	}
+	var arrivals queue.RateFunc
+	if cfg.ArrivalRate > 0 {
+		// Pause arrivals briefly around the EV's entry so the injection
+		// point is clear; traffic already ahead of the EV (which is what
+		// forms the queues) is unaffected.
+		rate := cfg.ArrivalRate
+		arrivals = func(t float64) float64 {
+			if t >= cfg.DepartTime-15 && t < cfg.DepartTime+5 {
+				return 0
+			}
+			return rate
+		}
+	}
+	simulation, err := sim.New(sim.Config{
+		Route:         route,
+		Seed:          cfg.Seed,
+		Arrivals:      arrivals,
+		StraightRatio: cfg.StraightRatio,
+		StartTime:     cfg.DepartTime - cfg.WarmupSec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := trasi.NewServer(simulation)
+	if err != nil {
+		return nil, err
+	}
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client, err := trasi.Dial(addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	// Warm up background traffic, then inject the EV.
+	warmupSteps := uint32(math.Round(cfg.WarmupSec / simulation.StepSec()))
+	if warmupSteps > 0 {
+		if _, err := client.Step(warmupSteps); err != nil {
+			return nil, err
+		}
+	}
+	const id = "ev-under-test"
+	added := false
+	for attempt := 0; attempt < 40; attempt++ { // up to ~20 s of sim time
+		if err := client.AddVehicle(id); err == nil {
+			added = true
+			break
+		}
+		if _, err := client.Step(1); err != nil {
+			return nil, err
+		}
+	}
+	if !added {
+		return nil, fmt.Errorf("experiments: entry never cleared for the EV")
+	}
+	deadline := cfg.DepartTime + cfg.MaxTripSec
+	for {
+		st, err := client.GetVehicle(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Done {
+			break
+		}
+		now, err := client.Time()
+		if err != nil {
+			return nil, err
+		}
+		if now > deadline {
+			return nil, fmt.Errorf("experiments: replay exceeded %.0f s (EV at %.0f m)", cfg.MaxTripSec, st.PosM)
+		}
+		cmd := plan.SpeedAtPos(st.PosM + cfg.LookaheadM)
+		// Never command a permanent crawl: the simulator enforces all
+		// mandatory stops itself, so a small floor lets the EV creep out
+		// of plan positions where the planned speed is zero.
+		if cmd < 1.0 {
+			cmd = 1.0
+		}
+		if err := client.SetSpeed(id, cmd); err != nil {
+			return nil, err
+		}
+		if _, err := client.Step(1); err != nil {
+			return nil, err
+		}
+	}
+	return client.GetTrace(id)
+}

@@ -1,0 +1,83 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section III): each FigN function regenerates the corresponding figure's
+// data series and returns a structured result with a text rendering.
+// The cmd/evbench binary and the repository's bench_test.go both drive
+// these runners; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// Fidelity trades runtime for resolution. Fast keeps unit tests and
+// benchmarks quick; Full is what cmd/evbench uses for reported numbers.
+type Fidelity int
+
+// Fidelity levels. The zero value is invalid so a forgotten parameter is
+// caught.
+const (
+	fidelityInvalid Fidelity = iota
+	// FidelityFast uses coarse grids and small models (CI-friendly).
+	FidelityFast
+	// FidelityFull uses the report-quality resolution.
+	FidelityFull
+)
+
+// Validate reports whether the fidelity is usable.
+func (f Fidelity) Validate() error {
+	if f != FidelityFast && f != FidelityFull {
+		return fmt.Errorf("experiments: invalid fidelity %d", int(f))
+	}
+	return nil
+}
+
+// PaperArrivalRateVehPerHour is the arrival rate the authors measured at
+// the second US-25 light (Section III-B-2).
+const PaperArrivalRateVehPerHour = 153.0
+
+// paperVin returns the measured arrival rate in veh/s.
+func paperVin() float64 { return queue.VehPerHour(PaperArrivalRateVehPerHour) }
+
+// paperTiming returns the 30 s red / 30 s green cycle of the US-25 lights.
+func paperTiming() road.SignalTiming { return road.SignalTiming{RedSec: 30, GreenSec: 30} }
+
+// vehicleParams returns the Chevrolet Spark EV model used everywhere.
+func vehicleParams() ev.Params { return ev.SparkEV() }
+
+// writeTable renders an aligned two-dimensional table.
+func writeTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		for i, c := range cells {
+			if _, err := fmt.Fprintf(w, "%-*s  ", widths[i], c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := line(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

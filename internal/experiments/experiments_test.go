@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"evvo/internal/ev"
+	"evvo/internal/metrics"
+	"evvo/internal/road"
+)
+
+func TestFidelityValidate(t *testing.T) {
+	if err := FidelityFast.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fidelityInvalid.Validate(); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+	if err := Fidelity(99).Validate(); err == nil {
+		t.Fatal("out-of-range fidelity accepted")
+	}
+}
+
+func TestFig3SurfaceShape(t *testing.T) {
+	r, err := Fig3(vehicleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SpeedsKmh) != 13 || len(r.Accels) != 9 {
+		t.Fatalf("grid %dx%d, want 13x9", len(r.SpeedsKmh), len(r.Accels))
+	}
+	// Paper shape: rate grows with acceleration; negative under hard decel
+	// at speed (regen).
+	last := r.RateAmps[len(r.RateAmps)-1] // a = +2.5 row
+	first := r.RateAmps[0]                // a = −1.5 row
+	for j := range last {
+		if j > 0 && last[j] <= first[j] {
+			t.Fatalf("rate at a=+2.5 should exceed a=−1.5 at %v km/h", r.SpeedsKmh[j])
+		}
+	}
+	if first[len(first)-1] >= 0 {
+		t.Fatalf("hard decel at 120 km/h should regen, got %v A", first[len(first)-1])
+	}
+	if math.Abs(r.RateAmps[3][0]) > 1e-9 { // a = 0, v = 0
+		t.Fatalf("standstill rate = %v, want 0", r.RateAmps[3][0])
+	}
+}
+
+func TestFig3RejectsBadParams(t *testing.T) {
+	if _, err := Fig3(ev.Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	r, err := Fig3(vehicleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "120") {
+		t.Fatalf("render output missing content:\n%s", out)
+	}
+}
+
+func TestFig4FastRuns(t *testing.T) {
+	r, err := Fig4(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Days) != 7 {
+		t.Fatalf("days = %d, want 7", len(r.Days))
+	}
+	if len(r.TestWeek) != 7*24 {
+		t.Fatalf("test week hours = %d", len(r.TestWeek))
+	}
+	if r.OverallMRE <= 0 || r.OverallMRE > 0.6 {
+		t.Fatalf("overall MRE %v implausible", r.OverallMRE)
+	}
+	if r.OverallRMSE <= 0 || r.OverallRMSE >= metrics.Max(r.TestWeek) {
+		t.Fatalf("overall RMSE %v implausible", r.OverallRMSE)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MRE") {
+		t.Fatal("render missing MRE")
+	}
+}
+
+func TestFig4RejectsInvalidFidelity(t *testing.T) {
+	if _, err := Fig4(fidelityInvalid); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r, err := Fig5(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TimeSec) == 0 || len(r.VMLeaving) != len(r.TimeSec) || len(r.RealQueueM) != len(r.TimeSec) {
+		t.Fatalf("misaligned series: %d/%d/%d", len(r.TimeSec), len(r.VMLeaving), len(r.RealQueueM))
+	}
+	// Paper Fig. 5(a): the VM model ramps; the current model steps. Just
+	// after green onset (t = 31 s; index = 62 at 0.5 s sampling) the VM
+	// leaving rate must be below the current model's.
+	i31 := 62
+	if r.VMLeaving[i31] >= r.CurrentLeaving[i31] {
+		t.Fatalf("VM rate %v should be below step rate %v during the ramp",
+			r.VMLeaving[i31], r.CurrentLeaving[i31])
+	}
+	// Paper Fig. 5(b): the VM clear time is later than the current model's.
+	if r.VMClearSec <= r.CurrentClearSec {
+		t.Fatalf("VM clear %v should be later than current %v", r.VMClearSec, r.CurrentClearSec)
+	}
+	// Queues build during red in all three series.
+	peakReal := metrics.Max(r.RealQueueM)
+	if peakReal <= 0 {
+		t.Fatal("real queue never built")
+	}
+	if metrics.Max(r.VMQueueM) <= 0 {
+		t.Fatal("VM queue never built")
+	}
+	// The real queue drains by end of cycle on average.
+	if r.RealQueueM[len(r.RealQueueM)-1] > peakReal/2 {
+		t.Fatalf("real queue did not substantially drain: end %v, peak %v",
+			r.RealQueueM[len(r.RealQueueM)-1], peakReal)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Fatal("render missing title")
+	}
+}
+
+// TestComparisonPaperShape verifies the headline claims of Figs. 6–8 hold
+// in shape: proposed DP stops nowhere, beats every other profile on energy,
+// and does not lose trip time to the current DP.
+func TestComparisonPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison is a full pipeline run")
+	}
+	r, err := Comparison(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(r.Items))
+	}
+	prop, err := r.Item(KindProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := r.Item(KindCurrentDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mild, _ := r.Item(KindMild)
+	fast, _ := r.Item(KindFast)
+
+	// Fig. 6(b): the proposed profile has no stops at signals.
+	if prop.Stops != 0 {
+		t.Errorf("proposed DP executed profile has %d stops, want 0", prop.Stops)
+	}
+	// Fig. 6(a): the current DP meets the discharging queue — it stops or
+	// decelerates hard in a signal area, clearly below the proposed DP's
+	// slowest signal-area speed.
+	if cur.Stops == 0 && cur.SlowestSignalMS > prop.SlowestSignalMS-2 {
+		t.Errorf("current DP shows no queue impact: stops=%d slowest=%.2f vs proposed %.2f",
+			cur.Stops, cur.SlowestSignalMS, prop.SlowestSignalMS)
+	}
+	// Fig. 6(b): the proposed DP never decelerates hard at a signal.
+	if prop.SlowestSignalMS < 8 {
+		t.Errorf("proposed DP slowed to %.2f m/s in a signal area", prop.SlowestSignalMS)
+	}
+	// Fig. 7(b): energy ordering — proposed < current DP < mild < fast is
+	// the paper's headline; require at least proposed strictly best.
+	for _, other := range []ComparisonItem{cur, mild, fast} {
+		if prop.EnergyMAh >= other.EnergyMAh {
+			t.Errorf("proposed %.1f mAh should beat %s %.1f mAh", prop.EnergyMAh, other.Kind, other.EnergyMAh)
+		}
+	}
+	if fast.EnergyMAh <= mild.EnergyMAh {
+		t.Errorf("fast %.1f mAh should exceed mild %.1f mAh", fast.EnergyMAh, mild.EnergyMAh)
+	}
+	// Fig. 8: proposed stays within a few seconds of the current DP (the
+	// paper has it strictly faster; with the tiny 153 veh/h queues here
+	// the baseline's queue encounter costs energy more than time).
+	if prop.TripSec > cur.TripSec+15 {
+		t.Errorf("proposed trip %.1f s much slower than current DP %.1f s", prop.TripSec, cur.TripSec)
+	}
+
+	// All three figure renderers share this result.
+	for _, render := range []func() error{
+		func() error { var b bytes.Buffer; return (&Fig6Result{r}).Render(&b) },
+		func() error { var b bytes.Buffer; return (&Fig7Result{r}).Render(&b) },
+		func() error { var b bytes.Buffer; return (&Fig8Result{r}).Render(&b) },
+	} {
+		if err := render(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFig7Savings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	r, err := Fig7(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vs := range []ProfileKind{KindMild, KindFast, KindCurrentDP} {
+		s, err := r.Savings(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= 0 || s > 0.6 {
+			t.Errorf("savings vs %s = %.3f implausible", vs, s)
+		}
+	}
+	if _, err := r.Savings(ProfileKind("bogus")); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := ReplayInSim(nil, nil, ReplayConfig{}); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	_ = road.US25()
+}
+
+func TestComparisonRejectsInvalidFidelity(t *testing.T) {
+	if _, err := Comparison(fidelityInvalid); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+	if _, err := Fig5(fidelityInvalid); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+}
+
+func TestGradeStudy(t *testing.T) {
+	r, err := GradeStudy(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flat model must underestimate the cost of graded terrain (net
+	// climb energy is not fully recovered on the descent).
+	if r.FlatPlanOnGradeMAh <= r.FlatEstimateMAh {
+		t.Fatalf("flat estimate %.1f not below graded truth %.1f", r.FlatEstimateMAh, r.FlatPlanOnGradeMAh)
+	}
+	// The grade-aware plan must not be worse than the blind plan on the
+	// same terrain.
+	if r.AwarePlanMAh > r.FlatPlanOnGradeMAh+1 {
+		t.Fatalf("grade-aware plan %.1f worse than blind plan %.1f", r.AwarePlanMAh, r.FlatPlanOnGradeMAh)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Gradient study") {
+		t.Fatal("render missing title")
+	}
+	if _, err := GradeStudy(fidelityInvalid); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+}
+
+func TestFleetStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-EV pipeline")
+	}
+	s, err := RunFleetStudy(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.QueueAware) != fleetSize || len(s.Green) != fleetSize {
+		t.Fatalf("trip counts %d/%d", len(s.QueueAware), len(s.Green))
+	}
+	for i, tr := range s.QueueAware {
+		if tr.EnergyMAh <= 0 || tr.TripSec <= 0 {
+			t.Fatalf("queue-aware trip %d malformed: %+v", i, tr)
+		}
+	}
+	// The queue-aware fleet must not stop more than the green fleet, and
+	// should not spend more energy on average.
+	if TotalStops(s.QueueAware) > TotalStops(s.Green) {
+		t.Errorf("queue-aware fleet stops %d exceed green fleet %d",
+			TotalStops(s.QueueAware), TotalStops(s.Green))
+	}
+	if MeanEnergy(s.QueueAware) > MeanEnergy(s.Green)*1.02 {
+		t.Errorf("queue-aware fleet mean %.1f above green fleet %.1f",
+			MeanEnergy(s.QueueAware), MeanEnergy(s.Green))
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fleet study") {
+		t.Fatal("render missing title")
+	}
+	if _, err := RunFleetStudy(fidelityInvalid); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+}
+
+func TestComparisonWearOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	r, err := Comparison(FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, _ := r.Item(KindProposed)
+	fast, _ := r.Item(KindFast)
+	if prop.WearMilliCycles <= 0 {
+		t.Fatalf("proposed wear %v not positive", prop.WearMilliCycles)
+	}
+	// Fast driving's high currents must age the pack faster than the
+	// optimized profile — the battery-lifetime motivation of the paper's
+	// introduction.
+	if fast.WearMilliCycles <= prop.WearMilliCycles {
+		t.Fatalf("fast wear %v not above proposed %v", fast.WearMilliCycles, prop.WearMilliCycles)
+	}
+}

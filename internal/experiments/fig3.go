@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"evvo/internal/ev"
+	"evvo/internal/road"
+)
+
+// Fig3Result is the energy-consumption-rate surface of the paper's Fig. 3:
+// ζ(v, a) for a pure EV on flat ground, negative under deceleration
+// (regenerative braking).
+type Fig3Result struct {
+	// SpeedsKmh are the grid speeds (columns).
+	SpeedsKmh []float64
+	// Accels are the grid accelerations in m/s² (rows).
+	Accels []float64
+	// RateAmps[i][j] is ζ in amperes at Accels[i], SpeedsKmh[j].
+	RateAmps [][]float64
+}
+
+// Fig3 evaluates the energy model over the paper's grid: speeds 0–120 km/h,
+// accelerations −1.5–+2.5 m/s².
+func Fig3(params ev.Params) (*Fig3Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Fig3Result{}
+	for v := 0.0; v <= 120.0001; v += 10 {
+		r.SpeedsKmh = append(r.SpeedsKmh, v)
+	}
+	for a := -1.5; a <= 2.5001; a += 0.5 {
+		r.Accels = append(r.Accels, a)
+	}
+	for _, a := range r.Accels {
+		row := make([]float64, 0, len(r.SpeedsKmh))
+		for _, vKmh := range r.SpeedsKmh {
+			row = append(row, params.ChargeRate(road.KmhToMs(vKmh), a, 0))
+		}
+		r.RateAmps = append(r.RateAmps, row)
+	}
+	return r, nil
+}
+
+// Render writes the surface as an aligned table (rows: acceleration).
+func (r *Fig3Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 3 — energy consumption rate ζ (A) of a pure EV, θ = 0"); err != nil {
+		return err
+	}
+	header := []string{"a (m/s²) \\ v (km/h)"}
+	for _, v := range r.SpeedsKmh {
+		header = append(header, fmt.Sprintf("%.0f", v))
+	}
+	var rows [][]string
+	for i, a := range r.Accels {
+		row := []string{fmt.Sprintf("%+.1f", a)}
+		for _, z := range r.RateAmps[i] {
+			row = append(row, fmt.Sprintf("%.1f", z))
+		}
+		rows = append(rows, row)
+	}
+	return writeTable(w, header, rows)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"evvo/internal/traffic"
+)
+
+// Fig4Result reproduces the paper's Fig. 4: (a) one week of traffic volume
+// and (b) per-day MRE/RMSE of the SAE predictor on that week.
+type Fig4Result struct {
+	// TestWeek is the held-out week's hourly volume (Fig. 4(a)).
+	TestWeek []float64
+	// Days are per-day prediction scores (Fig. 4(b)).
+	Days []traffic.DayScore
+	// OverallMRE and OverallRMSE summarize the whole week.
+	OverallMRE, OverallRMSE float64
+}
+
+// Fig4 synthesizes the SC-DOT-style dataset (three months of training data
+// plus a one-week test, mirroring Section III-A-2), trains the SAE
+// predictor, and scores it per day.
+func Fig4(fid Fidelity) (*Fig4Result, error) {
+	if err := fid.Validate(); err != nil {
+		return nil, err
+	}
+	weeks, window := 14, 24
+	pcfg := traffic.PredictorConfig{
+		Window: window, Hidden: []int{48, 24},
+		PretrainEpochs: 20, FinetuneEpochs: 350, Seed: 7,
+	}
+	if fid == FidelityFast {
+		weeks = 5
+		pcfg = traffic.PredictorConfig{
+			Window: 12, Hidden: []int{16, 8},
+			PretrainEpochs: 5, FinetuneEpochs: 40, Seed: 7,
+		}
+	}
+	all, err := traffic.Synthesize(traffic.SyntheticConfig{Weeks: weeks, Seed: 20160301})
+	if err != nil {
+		return nil, err
+	}
+	trainEnd := (weeks - 1) * traffic.HoursPerWeek
+	train, err := all.Slice(0, trainEnd)
+	if err != nil {
+		return nil, err
+	}
+	test, err := all.Slice(trainEnd, weeks*traffic.HoursPerWeek)
+	if err != nil {
+		return nil, err
+	}
+	p, err := traffic.TrainPredictor(train, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	days, err := p.EvaluateByDay(test, trainEnd)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{TestWeek: test.Values, Days: days}
+	// Overall scores: weight days equally (they have near-equal samples).
+	for _, d := range days {
+		res.OverallMRE += d.MRE / float64(len(days))
+		res.OverallRMSE += d.RMSE / float64(len(days))
+	}
+	return res, nil
+}
+
+// Render writes Fig. 4(b)'s table plus a compact view of the test week.
+func (r *Fig4Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 4(a) — test-week traffic volume (veh/h, daily min/mean/max)"); err != nil {
+		return err
+	}
+	var rows [][]string
+	for d := 0; d*24+24 <= len(r.TestWeek); d++ {
+		day := r.TestWeek[d*24 : d*24+24]
+		mn, mx, sum := day[0], day[0], 0.0
+		for _, v := range day {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		rows = append(rows, []string{
+			traffic.DayOfWeek(d * 24).String(),
+			fmt.Sprintf("%.0f", mn), fmt.Sprintf("%.0f", sum/24), fmt.Sprintf("%.0f", mx),
+		})
+	}
+	if err := writeTable(w, []string{"day", "min", "mean", "max"}, rows); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nFig. 4(b) — SAE prediction accuracy per day"); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, d := range r.Days {
+		rows = append(rows, []string{d.Day, fmt.Sprintf("%.1f%%", d.MRE*100), fmt.Sprintf("%.1f", d.RMSE)})
+	}
+	if err := writeTable(w, []string{"day", "MRE", "RMSE (veh/h)"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "overall: MRE %.1f%%  RMSE %.1f veh/h  (paper: MRE < 10%% every day)\n",
+		r.OverallMRE*100, r.OverallRMSE)
+	return err
+}

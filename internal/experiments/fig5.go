@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/sim"
+)
+
+// Fig5Result reproduces the paper's Fig. 5: traffic dynamics over one
+// signal cycle at the second US-25 light. (a) compares the VM model's
+// leaving rate against the prior step model; (b) compares the QL model's
+// queue length against the prior model and the "real" (simulated) queue.
+type Fig5Result struct {
+	// TimeSec are into-cycle sample times.
+	TimeSec []float64
+	// VInVehPerSec is the constant arrival rate.
+	VInVehPerSec float64
+	// VMLeaving and CurrentLeaving are leaving rates (veh/s) per sample.
+	VMLeaving, CurrentLeaving []float64
+	// VMQueueM, CurrentQueueM, RealQueueM are queue lengths in metres.
+	VMQueueM, CurrentQueueM, RealQueueM []float64
+	// VMClearSec and CurrentClearSec are the models' queue-zero times.
+	VMClearSec, CurrentClearSec float64
+}
+
+// Fig5 evaluates both analytic models over one cycle and measures the
+// ground-truth queue from the microsimulator, averaged across cycles.
+func Fig5(fid Fidelity) (*Fig5Result, error) {
+	if err := fid.Validate(); err != nil {
+		return nil, err
+	}
+	params := queue.US25Params()
+	timing := paperTiming()
+	vin := paperVin()
+
+	m, err := queue.NewModel(params, timing)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := queue.NewCurrentModel(params, timing)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig5Result{VInVehPerSec: vin}
+	res.VMClearSec, _ = m.QueueClearTime(vin)
+	res.CurrentClearSec, _ = cur.QueueClearTime(vin)
+
+	const dt = 0.5
+	for t := 0.0; t <= timing.CycleSec(); t += dt {
+		res.TimeSec = append(res.TimeSec, t)
+		res.VMLeaving = append(res.VMLeaving, m.LeavingRate(t, vin))
+		res.CurrentLeaving = append(res.CurrentLeaving, cur.LeavingRate(t, vin))
+		res.VMQueueM = append(res.VMQueueM, m.QueueLenM(t, vin))
+		res.CurrentQueueM = append(res.CurrentQueueM, cur.QueueLenM(t, vin))
+	}
+
+	real, err := measureRealQueue(fid, params, timing, vin, len(res.TimeSec), dt)
+	if err != nil {
+		return nil, err
+	}
+	res.RealQueueM = real
+	return res, nil
+}
+
+// measureRealQueue runs a single-signal microsimulation and averages the
+// measured queue per into-cycle offset across many cycles, in metres
+// (vehicles × the QL model's spacing d, the paper's unit).
+func measureRealQueue(fid Fidelity, params queue.Params, timing road.SignalTiming,
+	vin float64, samples int, dt float64) ([]float64, error) {
+
+	route, err := road.NewRoute(road.RouteConfig{
+		LengthM:      2000,
+		DefaultMaxMS: road.KmhToMs(60),
+		Controls: []road.Control{{
+			Kind: road.ControlSignal, PositionM: 1500, Timing: timing, Name: "light",
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		Route:         route,
+		StepSec:       dt,
+		Seed:          5,
+		Arrivals:      queue.ConstantRate(vin),
+		StraightRatio: params.StraightRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmup, cycles := 300.0, 30
+	if fid == FidelityFast {
+		warmup, cycles = 120, 6
+	}
+	s.RunUntil(warmup - timingPhaseLead(timing, warmup))
+
+	sums := make([]float64, samples)
+	counts := make([]int, samples)
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < samples; i++ {
+			q, err := s.QueueAt("light")
+			if err != nil {
+				return nil, err
+			}
+			sums[i] += float64(q) * params.SpacingM
+			counts[i]++
+			s.Step()
+		}
+	}
+	out := make([]float64, samples)
+	for i := range sums {
+		out[i] = sums[i] / float64(counts[i])
+	}
+	return out, nil
+}
+
+// timingPhaseLead returns how far past a cycle boundary time t is, so the
+// caller can align measurement to cycle starts.
+func timingPhaseLead(timing road.SignalTiming, t float64) float64 {
+	_, into := timing.PhaseAt(t)
+	return into
+}
+
+// Render writes both panels as tables.
+func (r *Fig5Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 5 — traffic dynamics over one signal cycle (V_in = %.0f veh/h)\n",
+		r.VInVehPerSec*3600); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "queue clears: VM model %.1f s, current model %.1f s (green opens at 30 s)\n\n",
+		r.VMClearSec, r.CurrentClearSec); err != nil {
+		return err
+	}
+	header := []string{"t (s)", "Vout VM (veh/s)", "Vout current", "Lq VM (m)", "Lq current (m)", "Lq real (m)"}
+	var rows [][]string
+	for i, t := range r.TimeSec {
+		if i%4 != 0 { // render every 2 s
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", t),
+			fmt.Sprintf("%.3f", r.VMLeaving[i]),
+			fmt.Sprintf("%.3f", r.CurrentLeaving[i]),
+			fmt.Sprintf("%.1f", r.VMQueueM[i]),
+			fmt.Sprintf("%.1f", r.CurrentQueueM[i]),
+			fmt.Sprintf("%.1f", r.RealQueueM[i]),
+		})
+	}
+	return writeTable(w, header, rows)
+}

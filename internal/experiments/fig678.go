@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig6 compares planned vs sim-executed DP profiles (the paper's Fig. 6):
+// the current (green-window) DP's executed profile stops or decelerates at
+// signal queues, while the proposed queue-aware DP's does not.
+type Fig6Result struct {
+	*ComparisonResult
+}
+
+// Fig6 runs the comparison (or reuses one) and wraps it for rendering.
+func Fig6(fid Fidelity) (*Fig6Result, error) {
+	c, err := Comparison(fid)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{c}, nil
+}
+
+// Render writes planned-vs-executed speed-by-distance tables for both DPs.
+func (r *Fig6Result) Render(w io.Writer) error {
+	for _, kind := range []ProfileKind{KindCurrentDP, KindProposed} {
+		it, err := r.Item(kind)
+		if err != nil {
+			return err
+		}
+		panel := "(a) existing DP method"
+		if kind == KindProposed {
+			panel = "(b) proposed DP method"
+		}
+		if _, err := fmt.Fprintf(w, "Fig. 6%s — planned vs SUMO-style executed profile (signal-area stops: %d, slowest signal-area speed: %.1f km/h)\n",
+			panel, it.Stops, 3.6*it.SlowestSignalMS); err != nil {
+			return err
+		}
+		header := []string{"pos (m)", "planned (km/h)", "executed (km/h)"}
+		var rows [][]string
+		for pos := 0.0; pos <= 4200; pos += 200 {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f", pos),
+				fmt.Sprintf("%.1f", 3.6*it.Planned.SpeedAtPos(pos)),
+				fmt.Sprintf("%.1f", 3.6*it.Executed.SpeedAtPos(pos)),
+			})
+		}
+		if err := writeTable(w, header, rows); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig7Result is the total-energy comparison of the paper's Fig. 7.
+type Fig7Result struct {
+	*ComparisonResult
+}
+
+// Fig7 runs the comparison and wraps it for rendering.
+func Fig7(fid Fidelity) (*Fig7Result, error) {
+	c, err := Comparison(fid)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{c}, nil
+}
+
+// Savings returns the proposed method's energy saving relative to another
+// profile, as a fraction (paper: 17.5% vs fast, 8.4% vs mild, 5.1% vs
+// current DP).
+func (r *Fig7Result) Savings(vs ProfileKind) (float64, error) {
+	prop, err := r.Item(KindProposed)
+	if err != nil {
+		return 0, err
+	}
+	other, err := r.Item(vs)
+	if err != nil {
+		return 0, err
+	}
+	if other.EnergyMAh == 0 {
+		return 0, fmt.Errorf("experiments: %q consumed zero energy", vs)
+	}
+	return 1 - prop.EnergyMAh/other.EnergyMAh, nil
+}
+
+// Render writes the energy table with savings.
+func (r *Fig7Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 7 — total energy consumption of the four velocity profiles"); err != nil {
+		return err
+	}
+	header := []string{"profile", "energy (mAh)", "trip (s)", "stops", "wear (mcycles)", "proposed saves"}
+	var rows [][]string
+	for _, it := range r.Items {
+		saving := "—"
+		if it.Kind != KindProposed {
+			if s, err := r.Savings(it.Kind); err == nil {
+				saving = fmt.Sprintf("%.1f%%", s*100)
+			}
+		}
+		rows = append(rows, []string{
+			string(it.Kind),
+			fmt.Sprintf("%.1f", it.EnergyMAh),
+			fmt.Sprintf("%.1f", it.TripSec),
+			fmt.Sprintf("%d", it.Stops),
+			fmt.Sprintf("%.2f", it.WearMilliCycles),
+			saving,
+		})
+	}
+	if err := writeTable(w, header, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "paper: proposed saves 17.5% vs fast, 8.4% vs mild, 5.1% vs current DP")
+	return err
+}
+
+// Fig8Result is the time–distance comparison of the paper's Fig. 8.
+type Fig8Result struct {
+	*ComparisonResult
+}
+
+// Fig8 runs the comparison and wraps it for rendering.
+func Fig8(fid Fidelity) (*Fig8Result, error) {
+	c, err := Comparison(fid)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{c}, nil
+}
+
+// Render writes arrival-time-by-distance curves; flat regions are stops.
+func (r *Fig8Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 8 — trip time by distance (s since departure)"); err != nil {
+		return err
+	}
+	header := []string{"pos (m)"}
+	for _, it := range r.Items {
+		header = append(header, string(it.Kind))
+	}
+	var rows [][]string
+	for pos := 0.0; pos <= 4200; pos += 300 {
+		row := []string{fmt.Sprintf("%.0f", pos)}
+		for _, it := range r.Items {
+			row = append(row, fmt.Sprintf("%.0f", it.Executed.TimeAtPos(pos)-r.DepartTime))
+		}
+		rows = append(rows, row)
+	}
+	if err := writeTable(w, header, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "paper: proposed matches fast driving's total time and beats current DP")
+	return err
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"evvo/internal/dp"
+	"evvo/internal/profile"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/sim"
+	"evvo/internal/trasi"
+)
+
+// FleetStudy asks a question one step beyond the paper: the paper
+// optimizes a single EV against background traffic — do the savings
+// survive when a whole fleet of EVs follows the cloud's advice on the same
+// corridor at once? Each EV gets its own queue-aware (or green-window)
+// plan for its departure; all of them execute in one shared simulation.
+type FleetStudy struct {
+	// Departures are the fleet's staggered absolute departure times.
+	Departures []float64
+	// QueueAware and Green are the per-EV outcomes under each planner.
+	QueueAware, Green []FleetTrip
+}
+
+// FleetTrip is one EV's executed outcome.
+type FleetTrip struct {
+	ID        string
+	DepartSec float64
+	EnergyMAh float64
+	TripSec   float64
+	Stops     int
+}
+
+// fleetSize and fleetSpacing shape the default study.
+const (
+	fleetSize       = 5
+	fleetSpacingSec = 40
+)
+
+// RunFleetStudy executes the study at the given fidelity.
+func RunFleetStudy(fid Fidelity) (*FleetStudy, error) {
+	if err := fid.Validate(); err != nil {
+		return nil, err
+	}
+	route := road.US25()
+	qp := queue.US25Params()
+	vin := queue.VehPerHour(400)
+
+	study := &FleetStudy{}
+	for i := 0; i < fleetSize; i++ {
+		study.Departures = append(study.Departures, 30+float64(i)*fleetSpacingSec)
+	}
+	horizon := study.Departures[len(study.Departures)-1] + 800
+
+	dpCfg := dp.Config{
+		Route: route, Vehicle: vehicleParams(), StopDwellSec: 2, MaxTripSec: 600,
+	}
+	if fid == FidelityFast {
+		dpCfg.DsM, dpCfg.DvMS, dpCfg.DtSec = 100, 1, 2
+	} else {
+		dpCfg.DsM, dpCfg.DvMS, dpCfg.DtSec = 50, 0.5, 1
+	}
+
+	qaWindows, err := dp.QueueAwareWindows(qp, dp.ConstantArrivalRate(vin), 0, horizon)
+	if err != nil {
+		return nil, err
+	}
+	plan := func(windows dp.WindowsFunc, extraMargin bool, depart float64) (*profile.Profile, error) {
+		cfg := dpCfg
+		cfg.DepartTime = depart
+		cfg.Windows = windows
+		if extraMargin {
+			cfg.WindowMarginSec = 3
+			cfg.WindowEndMarginSec = 6
+		}
+		res, err := dp.Optimize(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Profile, nil
+	}
+
+	for _, variant := range []string{"queue-aware", "green"} {
+		plans := make([]*profile.Profile, len(study.Departures))
+		for i, depart := range study.Departures {
+			var p *profile.Profile
+			var err error
+			if variant == "queue-aware" {
+				p, err = plan(qaWindows, true, depart)
+			} else {
+				p, err = plan(dp.GreenWindows(0, horizon), false, depart)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fleet %s plan %d: %w", variant, i, err)
+			}
+			plans[i] = p
+		}
+		trips, err := fleetReplay(route, study.Departures, plans, vin, qp.StraightRatio)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet %s replay: %w", variant, err)
+		}
+		if variant == "queue-aware" {
+			study.QueueAware = trips
+		} else {
+			study.Green = trips
+		}
+	}
+	return study, nil
+}
+
+// fleetReplay executes several planned EVs in one shared simulation over
+// the trasi protocol.
+func fleetReplay(route *road.Route, departs []float64, plans []*profile.Profile,
+	arrivalRate, gamma float64) ([]FleetTrip, error) {
+
+	order := make([]int, len(departs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return departs[order[a]] < departs[order[b]] })
+
+	const warmup = 120.0
+	first := departs[order[0]]
+	rate := func(t float64) float64 {
+		// Pause arrivals briefly around each EV's entry (see ReplayInSim).
+		for _, d := range departs {
+			if t >= d-15 && t < d+5 {
+				return 0
+			}
+		}
+		return arrivalRate
+	}
+	simulation, err := sim.New(sim.Config{
+		Route: route, Seed: 99, Arrivals: rate,
+		StraightRatio: gamma, StartTime: first - warmup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := trasi.NewServer(simulation)
+	if err != nil {
+		return nil, err
+	}
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client, err := trasi.Dial(addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	ids := make([]string, len(departs))
+	added := make([]bool, len(departs))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ev-%d", i)
+	}
+	deadline := departs[order[len(order)-1]] + 1200
+	doneCount := 0
+	for doneCount < len(departs) {
+		now, err := client.Time()
+		if err != nil {
+			return nil, err
+		}
+		if now > deadline {
+			return nil, fmt.Errorf("experiments: fleet replay exceeded deadline")
+		}
+		for i := range departs {
+			if !added[i] && now >= departs[i] {
+				if err := client.AddVehicle(ids[i]); err == nil {
+					added[i] = true
+				}
+				// A blocked entry retries on the next tick.
+			}
+			if !added[i] {
+				continue
+			}
+			st, err := client.GetVehicle(ids[i])
+			if err != nil {
+				return nil, err
+			}
+			if st.Done {
+				continue
+			}
+			cmd := plans[i].SpeedAtPos(st.PosM + 8)
+			if cmd < 1.0 {
+				cmd = 1.0
+			}
+			if err := client.SetSpeed(ids[i], cmd); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := client.Step(1); err != nil {
+			return nil, err
+		}
+		doneCount = 0
+		for i := range departs {
+			if !added[i] {
+				continue
+			}
+			st, err := client.GetVehicle(ids[i])
+			if err != nil {
+				return nil, err
+			}
+			if st.Done {
+				doneCount++
+			}
+		}
+	}
+
+	out := make([]FleetTrip, len(departs))
+	for i := range departs {
+		trace, err := client.GetTrace(ids[i])
+		if err != nil {
+			return nil, err
+		}
+		mah, err := trace.EnergyMAh(vehicleParams(), route.GradeAt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = FleetTrip{
+			ID: ids[i], DepartSec: departs[i],
+			EnergyMAh: mah, TripSec: trace.Duration(),
+			Stops: signalAreaStops(trace, route),
+		}
+	}
+	return out, nil
+}
+
+// MeanEnergy returns the fleet's mean executed energy in mAh.
+func MeanEnergy(trips []FleetTrip) float64 {
+	if len(trips) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tr := range trips {
+		sum += tr.EnergyMAh
+	}
+	return sum / float64(len(trips))
+}
+
+// TotalStops sums signal-area stops across the fleet.
+func TotalStops(trips []FleetTrip) int {
+	n := 0
+	for _, tr := range trips {
+		n += tr.Stops
+	}
+	return n
+}
+
+// Render writes the per-EV table for both variants.
+func (s *FleetStudy) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fleet study — %d EVs share the corridor, each following its own plan\n", len(s.Departures)); err != nil {
+		return err
+	}
+	header := []string{"EV", "depart (s)", "queue-aware (mAh)", "qa stops", "green (mAh)", "green stops"}
+	var rows [][]string
+	for i := range s.Departures {
+		rows = append(rows, []string{
+			s.QueueAware[i].ID,
+			fmt.Sprintf("%.0f", s.Departures[i]),
+			fmt.Sprintf("%.1f", s.QueueAware[i].EnergyMAh),
+			fmt.Sprintf("%d", s.QueueAware[i].Stops),
+			fmt.Sprintf("%.1f", s.Green[i].EnergyMAh),
+			fmt.Sprintf("%d", s.Green[i].Stops),
+		})
+	}
+	if err := writeTable(w, header, rows); err != nil {
+		return err
+	}
+	saving := 0.0
+	if g := MeanEnergy(s.Green); g > 0 {
+		saving = (1 - MeanEnergy(s.QueueAware)/g) * 100
+	}
+	_, err := fmt.Fprintf(w, "fleet means: queue-aware %.1f mAh (%d stops) vs green %.1f mAh (%d stops) — %.1f%% saving\n",
+		MeanEnergy(s.QueueAware), TotalStops(s.QueueAware),
+		MeanEnergy(s.Green), TotalStops(s.Green), saving)
+	if math.IsNaN(saving) {
+		return fmt.Errorf("experiments: fleet saving undefined")
+	}
+	return err
+}

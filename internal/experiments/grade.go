@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"evvo/internal/dp"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// GradeStudyResult implements the paper's stated future work (Section V):
+// "consider the effect of road gradient on the proposed system". We give
+// the US-25 geometry a rolling elevation profile and compare a grade-blind
+// plan (optimized as if flat, then driven on the graded road) against a
+// grade-aware plan.
+type GradeStudyResult struct {
+	// FlatEstimateMAh is what the grade-blind optimizer believed its plan
+	// would cost (flat-model estimate).
+	FlatEstimateMAh float64
+	// FlatPlanOnGradeMAh is that same plan's true cost on the graded road.
+	FlatPlanOnGradeMAh float64
+	// AwarePlanMAh is the grade-aware plan's cost on the graded road.
+	AwarePlanMAh float64
+	// EstimateErrPct is the flat model's energy misestimate on graded
+	// terrain: (true − estimate) / true.
+	EstimateErrPct float64
+	// SavingPct is the grade-aware plan's saving over the grade-blind plan
+	// on the graded road.
+	SavingPct float64
+}
+
+// gradedUS25 returns the US-25 geometry with a rolling elevation profile:
+// a 3% climb after the stop sign, a long 1.5% descent into light-2.
+func gradedUS25() (*road.Route, error) {
+	timing := road.SignalTiming{RedSec: 30, GreenSec: 30}
+	return road.NewRoute(road.RouteConfig{
+		LengthM:      4200,
+		DefaultMinMS: road.KmhToMs(road.US25MinSpeedKmh),
+		DefaultMaxMS: road.KmhToMs(60),
+		Controls: []road.Control{
+			{Kind: road.ControlStopSign, PositionM: 490, Name: "stop-490m"},
+			{Kind: road.ControlSignal, PositionM: 1800, Timing: timing, Name: "light-1"},
+			{Kind: road.ControlSignal, PositionM: 3460, Timing: timing, Name: "light-2"},
+		},
+		GradeZones: []road.GradeZone{
+			{StartM: 700, EndM: 1500, ThetaRad: 0.03},
+			{StartM: 2200, EndM: 3400, ThetaRad: -0.015},
+		},
+	})
+}
+
+// GradeStudy runs the gradient extension experiment.
+func GradeStudy(fid Fidelity) (*GradeStudyResult, error) {
+	if err := fid.Validate(); err != nil {
+		return nil, err
+	}
+	graded, err := gradedUS25()
+	if err != nil {
+		return nil, err
+	}
+	flat := road.US25() // same geometry, zero grades
+
+	vin := queue.VehPerHour(PaperArrivalRateVehPerHour)
+	wf, err := dp.QueueAwareWindows(queue.US25Params(), dp.ConstantArrivalRate(vin), 0, 800)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dp.Config{
+		Vehicle: vehicleParams(), StopDwellSec: 2, Windows: wf,
+	}
+	if fid == FidelityFast {
+		cfg.DsM, cfg.DvMS, cfg.DtSec = 100, 1, 2
+	} else {
+		cfg.DsM, cfg.DvMS, cfg.DtSec = 50, 0.5, 1
+	}
+
+	blindCfg := cfg
+	blindCfg.Route = flat
+	blind, err := dp.Optimize(blindCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: grade-blind plan: %w", err)
+	}
+	awareCfg := cfg
+	awareCfg.Route = graded
+	aware, err := dp.Optimize(awareCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: grade-aware plan: %w", err)
+	}
+
+	blindOnGrade, err := blind.Profile.EnergyMAh(vehicleParams(), graded.GradeAt)
+	if err != nil {
+		return nil, err
+	}
+	awareOnGrade, err := aware.Profile.EnergyMAh(vehicleParams(), graded.GradeAt)
+	if err != nil {
+		return nil, err
+	}
+	res := &GradeStudyResult{
+		FlatEstimateMAh:    blind.ChargeAh * 1000,
+		FlatPlanOnGradeMAh: blindOnGrade,
+		AwarePlanMAh:       awareOnGrade,
+	}
+	if blindOnGrade != 0 {
+		res.EstimateErrPct = (blindOnGrade - res.FlatEstimateMAh) / blindOnGrade * 100
+		res.SavingPct = (blindOnGrade - awareOnGrade) / blindOnGrade * 100
+	}
+	return res, nil
+}
+
+// Render writes the study as a table.
+func (r *GradeStudyResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Gradient study — the paper's future work (Section V) implemented"); err != nil {
+		return err
+	}
+	rows := [][]string{
+		{"flat-model estimate of the grade-blind plan", fmt.Sprintf("%.1f mAh", r.FlatEstimateMAh)},
+		{"grade-blind plan driven on graded road", fmt.Sprintf("%.1f mAh", r.FlatPlanOnGradeMAh)},
+		{"grade-aware plan on graded road", fmt.Sprintf("%.1f mAh", r.AwarePlanMAh)},
+		{"flat model underestimates by", fmt.Sprintf("%.1f%%", r.EstimateErrPct)},
+		{"grade awareness saves", fmt.Sprintf("%.1f%%", r.SavingPct)},
+	}
+	return writeTable(w, []string{"quantity", "value"}, rows)
+}

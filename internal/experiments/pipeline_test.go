@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"evvo/internal/dp"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/traffic"
+)
+
+// TestEndToEndSAEQueuePipeline exercises the paper's complete system in one
+// pass: synthesize counter data, train the SAE predictor, turn its
+// prediction into an arrival rate, integrate the QL model into zero-queue
+// windows, optimize with the DP, and execute the plan in the
+// microsimulator over the trasi protocol under traffic driven by the same
+// arrival rate.
+func TestEndToEndSAEQueuePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	// 1. Traffic data and SAE predictor.
+	all, err := traffic.Synthesize(traffic.SyntheticConfig{Weeks: 5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := all.Slice(0, 4*traffic.HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := traffic.TrainPredictor(train, traffic.PredictorConfig{
+		Window: 12, Hidden: []int{16, 8},
+		PretrainEpochs: 5, FinetuneEpochs: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Predict the arrival rate for the trip hour: 08:00 on the first
+	// test Monday, using the preceding 12 hours as history.
+	h := 4*traffic.HoursPerWeek + 8
+	pred, err := p.Predict(all.Values[h-12:h], h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 {
+		t.Fatalf("predicted volume %v, want positive at rush hour", pred)
+	}
+	vin := queue.VehPerHour(pred)
+
+	// 3. Zero-queue windows from the QL model under the predicted rate.
+	wf, err := dp.QueueAwareWindows(queue.US25Params(), dp.ConstantArrivalRate(vin), 0, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Optimize.
+	res, err := dp.Optimize(dp.Config{
+		Route: road.US25(), Vehicle: vehicleParams(),
+		DsM: 100, DvMS: 1, DtSec: 2, StopDwellSec: 2,
+		Windows: wf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalized {
+		t.Fatalf("plan penalized under predicted rate %.0f veh/h: %+v", pred, res.Arrivals)
+	}
+
+	// 5. Execute in the simulator under the same predicted arrival rate.
+	exec, err := ReplayInSim(road.US25(), res.Profile, ReplayConfig{
+		ArrivalRate: vin, StraightRatio: queue.US25Params().StraightRatio, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stops := signalAreaStops(exec, road.US25()); stops != 0 {
+		t.Fatalf("executed plan stopped %d times at signals", stops)
+	}
+	// Execution should track the plan's trip time closely.
+	if diff := exec.Duration() - res.TripSec; diff > 20 || diff < -20 {
+		t.Fatalf("executed trip %.1f s deviates from planned %.1f s", exec.Duration(), res.TripSec)
+	}
+}

@@ -1,0 +1,106 @@
+// Package metrics provides the error measures the paper uses to evaluate
+// traffic-volume prediction (Section III-B-2): mean relative error (MRE)
+// and root mean squared error (RMSE), plus small summary helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MRE returns the mean relative error Σ|ŷ−y|/|y| / n over pairs where
+// y ≠ 0; pairs with y == 0 are skipped (relative error undefined).
+// An error is returned when the slices differ in length, are empty, or all
+// references are zero.
+func MRE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: MRE undefined, every reference value is zero")
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns sqrt(Σ(ŷ−y)²/n).
+func RMSE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// MAE returns Σ|ŷ−y|/n.
+func MAE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+func checkPair(pred, actual []float64) error {
+	if len(pred) != len(actual) {
+		return fmt.Errorf("metrics: length mismatch %d vs %d", len(pred), len(actual))
+	}
+	if len(pred) == 0 {
+		return fmt.Errorf("metrics: empty inputs")
+	}
+	return nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min and Max return the extrema; both return 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

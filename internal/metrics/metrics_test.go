@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMRE(t *testing.T) {
+	got, err := MRE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.1, 1e-12) {
+		t.Fatalf("MRE = %v, want 0.1", got)
+	}
+}
+
+func TestMRESkipsZeroReferences(t *testing.T) {
+	got, err := MRE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.1, 1e-12) {
+		t.Fatalf("MRE = %v, want 0.1 (zero ref skipped)", got)
+	}
+	if _, err := MRE([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero references accepted")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{3, 1}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 3/math.Sqrt2, 1e-12) {
+		t.Fatalf("RMSE = %v, want %v", got, 3/math.Sqrt2)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{3, -1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 2, 1e-12) {
+		t.Fatalf("MAE = %v, want 2", got)
+	}
+}
+
+func TestPairValidation(t *testing.T) {
+	if _, err := MRE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := MAE([]float64{1}, []float64{}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if m := Mean(xs); !almost(m, 2.75, 1e-12) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Min(xs); m != -1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m := Max(xs); m != 7 {
+		t.Fatalf("Max = %v", m)
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty summaries should be 0")
+	}
+}
+
+// Property: RMSE ≥ MAE (Jensen), and both are 0 iff pred == actual.
+func TestPropRMSEDominatesMAE(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		pred := []float64{math.Mod(a, 100), math.Mod(b, 100)}
+		act := []float64{math.Mod(c, 100), math.Mod(d, 100)}
+		rmse, err1 := RMSE(pred, act)
+		mae, err2 := MAE(pred, act)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rmse >= mae-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectPredictionZeroErrors(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	if mre, _ := MRE(xs, xs); mre != 0 {
+		t.Fatalf("MRE = %v", mre)
+	}
+	if rmse, _ := RMSE(xs, xs); rmse != 0 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+}

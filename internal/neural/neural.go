@@ -1,0 +1,263 @@
+// Package neural is a small from-scratch neural-network library sufficient
+// to reproduce the stacked-autoencoder (SAE) traffic-volume predictor the
+// paper adopts from Huang et al. [10]: dense layers, sigmoid/tanh/ReLU/
+// identity activations, mean-squared-error backpropagation, minibatch SGD
+// with momentum and L2 weight decay, greedy layer-wise (denoising)
+// autoencoder pretraining, and supervised fine-tuning.
+//
+// Everything is deterministic under a caller-supplied *rand.Rand: the same
+// seed and data always yield the same model.
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation enumerates supported activation functions. The zero value is
+// invalid.
+type Activation int
+
+// Supported activations.
+const (
+	ActInvalid Activation = iota
+	ActSigmoid
+	ActTanh
+	ActReLU
+	ActIdentity
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ActSigmoid:
+		return "sigmoid"
+	case ActTanh:
+		return "tanh"
+	case ActReLU:
+		return "relu"
+	case ActIdentity:
+		return "identity"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation of x.
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case ActTanh:
+		return math.Tanh(x)
+	case ActReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case ActIdentity:
+		return x
+	default:
+		panic("neural: invalid activation")
+	}
+}
+
+// derivFromOutput computes da/dx expressed in terms of the activation
+// output y = a(x); all supported activations admit this form.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ActSigmoid:
+		return y * (1 - y)
+	case ActTanh:
+		return 1 - y*y
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActIdentity:
+		return 1
+	default:
+		panic("neural: invalid activation")
+	}
+}
+
+// Dense is a fully connected layer y = act(W·x + b), W stored row-major
+// (Out × In).
+type Dense struct {
+	In, Out int
+	W       []float64
+	B       []float64
+	Act     Activation
+}
+
+// NewDense returns a layer with Xavier/Glorot-uniform initialized weights.
+func NewDense(in, out int, act Activation, rng *rand.Rand) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("neural: dense dims %d×%d must be positive", in, out)
+	}
+	if act < ActSigmoid || act > ActIdentity {
+		return nil, fmt.Errorf("neural: invalid activation %v", act)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("neural: nil RNG; pass rand.New(rand.NewSource(seed)) for determinism")
+	}
+	d := &Dense{In: in, Out: out, W: make([]float64, in*out), B: make([]float64, out), Act: act}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d, nil
+}
+
+// Forward computes the layer output for input x.
+func (d *Dense) Forward(x []float64) []float64 {
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		out[o] = d.Act.apply(sum)
+	}
+	return out
+}
+
+// Network is a feedforward stack of dense layers.
+type Network struct {
+	Layers []*Dense
+}
+
+// NewNetwork builds a network from layer sizes: sizes[0] is the input
+// dimension; each subsequent entry adds a layer with the matching
+// activation from acts (len(acts) == len(sizes)-1).
+func NewNetwork(sizes []int, acts []Activation, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("neural: need at least input and output sizes, got %v", sizes)
+	}
+	if len(acts) != len(sizes)-1 {
+		return nil, fmt.Errorf("neural: %d activations for %d layers", len(acts), len(sizes)-1)
+	}
+	n := &Network{}
+	for i := 1; i < len(sizes); i++ {
+		l, err := NewDense(sizes[i-1], sizes[i], acts[i-1], rng)
+		if err != nil {
+			return nil, err
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	return n, nil
+}
+
+// InputDim returns the expected input width.
+func (n *Network) InputDim() int { return n.Layers[0].In }
+
+// OutputDim returns the output width.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward computes the network output for input x.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// forwardCached runs Forward keeping every layer's output; acts[0] is the
+// input itself.
+func (n *Network) forwardCached(x []float64) [][]float64 {
+	acts := make([][]float64, len(n.Layers)+1)
+	acts[0] = x
+	for i, l := range n.Layers {
+		acts[i+1] = l.Forward(acts[i])
+	}
+	return acts
+}
+
+// grads holds per-layer parameter gradients.
+type grads struct {
+	dW [][]float64
+	dB [][]float64
+}
+
+func newGrads(n *Network) *grads {
+	g := &grads{dW: make([][]float64, len(n.Layers)), dB: make([][]float64, len(n.Layers))}
+	for i, l := range n.Layers {
+		g.dW[i] = make([]float64, len(l.W))
+		g.dB[i] = make([]float64, len(l.B))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for i := range g.dW {
+		clearF(g.dW[i])
+		clearF(g.dB[i])
+	}
+}
+
+func clearF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// backprop accumulates MSE-loss gradients for one sample into g and returns
+// the sample's squared-error loss (½·Σ(y−t)²).
+func (n *Network) backprop(x, target []float64, g *grads) float64 {
+	acts := n.forwardCached(x)
+	out := acts[len(acts)-1]
+	// δ at the output layer: (y − t) ⊙ act'(y).
+	delta := make([]float64, len(out))
+	loss := 0.0
+	last := n.Layers[len(n.Layers)-1]
+	for o := range out {
+		e := out[o] - target[o]
+		loss += 0.5 * e * e
+		delta[o] = e * last.Act.derivFromOutput(out[o])
+	}
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		in := acts[li]
+		for o := 0; o < l.Out; o++ {
+			g.dB[li][o] += delta[o]
+			row := g.dW[li][o*l.In : (o+1)*l.In]
+			for i, xi := range in {
+				row[i] += delta[o] * xi
+			}
+		}
+		if li == 0 {
+			break
+		}
+		prev := make([]float64, l.In)
+		below := n.Layers[li-1]
+		for i := 0; i < l.In; i++ {
+			sum := 0.0
+			for o := 0; o < l.Out; o++ {
+				sum += l.W[o*l.In+i] * delta[o]
+			}
+			prev[i] = sum * below.Act.derivFromOutput(in[i])
+		}
+		delta = prev
+	}
+	return loss
+}
+
+// Loss returns the mean squared-error loss (½·Σ(y−t)² averaged over
+// samples) of the network on a dataset.
+func (n *Network) Loss(x, y [][]float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	total := 0.0
+	for s := range x {
+		out := n.Forward(x[s])
+		for o := range out {
+			e := out[o] - y[s][o]
+			total += 0.5 * e * e
+		}
+	}
+	return total / float64(len(x))
+}

@@ -1,0 +1,284 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestActivationString(t *testing.T) {
+	for a, want := range map[Activation]string{
+		ActSigmoid: "sigmoid", ActTanh: "tanh", ActReLU: "relu", ActIdentity: "identity",
+	} {
+		if a.String() != want {
+			t.Errorf("%v != %q", a, want)
+		}
+	}
+	if !strings.Contains(ActInvalid.String(), "0") {
+		t.Errorf("invalid activation string = %q", ActInvalid.String())
+	}
+}
+
+func TestActivationValues(t *testing.T) {
+	if got := ActSigmoid.apply(0); got != 0.5 {
+		t.Fatalf("sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := ActReLU.apply(-3); got != 0 {
+		t.Fatalf("relu(-3) = %v, want 0", got)
+	}
+	if got := ActReLU.apply(3); got != 3 {
+		t.Fatalf("relu(3) = %v, want 3", got)
+	}
+	if got := ActTanh.apply(0); got != 0 {
+		t.Fatalf("tanh(0) = %v, want 0", got)
+	}
+	if got := ActIdentity.apply(1.7); got != 1.7 {
+		t.Fatalf("identity(1.7) = %v", got)
+	}
+}
+
+// Property: derivFromOutput matches a numerical derivative of apply.
+func TestPropActivationDerivatives(t *testing.T) {
+	const h = 1e-6
+	for _, a := range []Activation{ActSigmoid, ActTanh, ActIdentity} {
+		f := func(x float64) bool {
+			x = math.Mod(x, 5)
+			y := a.apply(x)
+			num := (a.apply(x+h) - a.apply(x-h)) / (2 * h)
+			return math.Abs(a.derivFromOutput(y)-num) < 1e-5
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", a, err)
+		}
+	}
+}
+
+func TestNewDenseValidation(t *testing.T) {
+	if _, err := NewDense(0, 3, ActSigmoid, rng(1)); err == nil {
+		t.Fatal("zero input accepted")
+	}
+	if _, err := NewDense(3, 3, ActInvalid, rng(1)); err == nil {
+		t.Fatal("invalid activation accepted")
+	}
+	if _, err := NewDense(3, 3, ActSigmoid, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestDenseForwardShape(t *testing.T) {
+	d, err := NewDense(4, 2, ActIdentity, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Forward([]float64{1, 2, 3, 4})
+	if len(out) != 2 {
+		t.Fatalf("output width %d, want 2", len(out))
+	}
+}
+
+func TestDenseForwardKnownWeights(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, W: []float64{2, -1}, B: []float64{0.5}, Act: ActIdentity}
+	out := d.Forward([]float64{3, 4})
+	if want := 2*3 - 1*4 + 0.5; out[0] != want {
+		t.Fatalf("forward = %v, want %v", out[0], want)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork([]int{4}, nil, rng(1)); err == nil {
+		t.Fatal("single size accepted")
+	}
+	if _, err := NewNetwork([]int{4, 2}, []Activation{ActSigmoid, ActSigmoid}, rng(1)); err == nil {
+		t.Fatal("mismatched activations accepted")
+	}
+}
+
+func TestNetworkDims(t *testing.T) {
+	n, err := NewNetwork([]int{5, 3, 2}, []Activation{ActSigmoid, ActIdentity}, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputDim() != 5 || n.OutputDim() != 2 {
+		t.Fatalf("dims = %d/%d, want 5/2", n.InputDim(), n.OutputDim())
+	}
+	if out := n.Forward(make([]float64, 5)); len(out) != 2 {
+		t.Fatalf("forward width %d", len(out))
+	}
+}
+
+// Gradient check: analytic backprop gradients must match central finite
+// differences on every parameter of a small network.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	n, err := NewNetwork([]int{3, 4, 2}, []Activation{ActSigmoid, ActIdentity}, rng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.6, 0.9}
+	y := []float64{0.2, -0.4}
+
+	g := newGrads(n)
+	n.backprop(x, y, g)
+
+	loss := func() float64 {
+		out := n.Forward(x)
+		l := 0.0
+		for o := range out {
+			e := out[o] - y[o]
+			l += 0.5 * e * e
+		}
+		return l
+	}
+	const h = 1e-6
+	for li, l := range n.Layers {
+		for wi := range l.W {
+			orig := l.W[wi]
+			l.W[wi] = orig + h
+			up := loss()
+			l.W[wi] = orig - h
+			down := loss()
+			l.W[wi] = orig
+			num := (up - down) / (2 * h)
+			if math.Abs(num-g.dW[li][wi]) > 1e-5 {
+				t.Fatalf("layer %d W[%d]: analytic %v vs numeric %v", li, wi, g.dW[li][wi], num)
+			}
+		}
+		for bi := range l.B {
+			orig := l.B[bi]
+			l.B[bi] = orig + h
+			up := loss()
+			l.B[bi] = orig - h
+			down := loss()
+			l.B[bi] = orig
+			num := (up - down) / (2 * h)
+			if math.Abs(num-g.dB[li][bi]) > 1e-5 {
+				t.Fatalf("layer %d B[%d]: analytic %v vs numeric %v", li, bi, g.dB[li][bi], num)
+			}
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	n, _ := NewNetwork([]int{2, 2, 1}, []Activation{ActSigmoid, ActIdentity}, rng(1))
+	x := [][]float64{{0, 0}}
+	y := [][]float64{{0}}
+	cases := []struct {
+		name string
+		cfg  TrainConfig
+	}{
+		{"zero epochs", TrainConfig{Rng: rng(1)}},
+		{"nil rng", TrainConfig{Epochs: 1}},
+		{"bad momentum", TrainConfig{Epochs: 1, Momentum: 1.0, Rng: rng(1)}},
+		{"negative l2", TrainConfig{Epochs: 1, L2: -1, Rng: rng(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := n.Train(x, y, tc.cfg); err == nil {
+				t.Fatal("accepted invalid config")
+			}
+		})
+	}
+	if _, err := n.Train([][]float64{{1}}, y, TrainConfig{Epochs: 1, Rng: rng(1)}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if _, err := n.Train(x, [][]float64{{1, 2}}, TrainConfig{Epochs: 1, Rng: rng(1)}); err == nil {
+		t.Fatal("target width mismatch accepted")
+	}
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	n, err := NewNetwork([]int{2, 8, 1}, []Activation{ActTanh, ActIdentity}, rng(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {0}}
+	loss, err := n.Train(x, y, TrainConfig{Epochs: 2000, BatchSize: 4, LR: 0.1, Rng: rng(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.01 {
+		t.Fatalf("XOR loss %v, want < 0.01", loss)
+	}
+	for i := range x {
+		out := n.Forward(x[i])[0]
+		if math.Abs(out-y[i][0]) > 0.2 {
+			t.Fatalf("XOR(%v) = %v, want %v", x[i], out, y[i][0])
+		}
+	}
+}
+
+func TestTrainLearnsLinearMap(t *testing.T) {
+	// y = 2a − b + 0.5 is exactly representable: loss should collapse.
+	n, err := NewNetwork([]int{2, 1}, []Activation{ActIdentity}, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng(5)
+	var x, y [][]float64
+	for i := 0; i < 200; i++ {
+		a, b := r.Float64(), r.Float64()
+		x = append(x, []float64{a, b})
+		y = append(y, []float64{2*a - b + 0.5})
+	}
+	loss, err := n.Train(x, y, TrainConfig{Epochs: 300, LR: 0.1, Rng: rng(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("linear fit loss %v, want ≈0", loss)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	build := func() float64 {
+		n, err := NewNetwork([]int{2, 6, 1}, []Activation{ActSigmoid, ActIdentity}, rng(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		y := [][]float64{{0}, {1}, {1}, {0}}
+		loss, err := n.Train(x, y, TrainConfig{Epochs: 50, LR: 0.1, Rng: rng(9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("training nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTrainWeightDecayShrinksWeights(t *testing.T) {
+	norm := func(l2 float64) float64 {
+		n, err := NewNetwork([]int{2, 6, 1}, []Activation{ActSigmoid, ActIdentity}, rng(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		y := [][]float64{{0}, {1}, {1}, {0}}
+		if _, err := n.Train(x, y, TrainConfig{Epochs: 500, LR: 0.1, L2: l2, Rng: rng(11)}); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, l := range n.Layers {
+			for _, w := range l.W {
+				s += w * w
+			}
+		}
+		return s
+	}
+	if plain, decayed := norm(0), norm(0.01); decayed >= plain {
+		t.Fatalf("L2 decay did not shrink weights: %v vs %v", decayed, plain)
+	}
+}
+
+func TestNetworkLossEmptyData(t *testing.T) {
+	n, _ := NewNetwork([]int{1, 1}, []Activation{ActIdentity}, rng(1))
+	if l := n.Loss(nil, nil); l != 0 {
+		t.Fatalf("Loss(nil) = %v, want 0", l)
+	}
+}

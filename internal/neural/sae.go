@@ -1,0 +1,166 @@
+package neural
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SAEConfig describes a stacked-autoencoder regressor: sigmoid hidden
+// layers pretrained greedily as (denoising) autoencoders, topped by a
+// linear output layer, then fine-tuned end to end (Huang et al. [10]).
+type SAEConfig struct {
+	// InputDim and OutputDim are the regressor's interface widths.
+	InputDim, OutputDim int
+	// Hidden lists the encoder widths, e.g. {64, 32}.
+	Hidden []int
+	// PretrainEpochs per autoencoder (default 30).
+	PretrainEpochs int
+	// FinetuneEpochs of supervised training (default 60).
+	FinetuneEpochs int
+	// NoiseRatio is the denoising mask probability in [0, 1) applied to
+	// autoencoder inputs during pretraining (default 0.1).
+	NoiseRatio float64
+	// LR is the learning rate for both phases (default 0.05).
+	LR float64
+	// BatchSize for both phases (default 16).
+	BatchSize int
+	// Seed makes the whole build deterministic.
+	Seed int64
+}
+
+func (c *SAEConfig) applyDefaults() {
+	if c.PretrainEpochs == 0 {
+		c.PretrainEpochs = 30
+	}
+	if c.FinetuneEpochs == 0 {
+		c.FinetuneEpochs = 60
+	}
+	if c.NoiseRatio == 0 {
+		c.NoiseRatio = 0.1
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+}
+
+func (c *SAEConfig) validate() error {
+	switch {
+	case c.InputDim <= 0 || c.OutputDim <= 0:
+		return fmt.Errorf("neural: SAE dims in=%d out=%d must be positive", c.InputDim, c.OutputDim)
+	case len(c.Hidden) == 0:
+		return fmt.Errorf("neural: SAE needs at least one hidden layer")
+	case c.NoiseRatio < 0 || c.NoiseRatio >= 1:
+		return fmt.Errorf("neural: SAE noise ratio %g must be in [0, 1)", c.NoiseRatio)
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("neural: SAE hidden layer %d width %d must be positive", i, h)
+		}
+	}
+	return nil
+}
+
+// SAE is a stacked-autoencoder regressor. Build with NewSAE, then Fit.
+type SAE struct {
+	cfg SAEConfig
+	net *Network
+	rng *rand.Rand
+}
+
+// NewSAE constructs the (untrained) network.
+func NewSAE(cfg SAEConfig) (*SAE, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append([]int{cfg.InputDim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.OutputDim)
+	acts := make([]Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = ActSigmoid
+	}
+	acts[len(acts)-1] = ActIdentity // linear regression head
+	net, err := NewNetwork(sizes, acts, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SAE{cfg: cfg, net: net, rng: rng}, nil
+}
+
+// Network exposes the underlying network (e.g. for inspection in tests).
+func (s *SAE) Network() *Network { return s.net }
+
+// Pretrain runs greedy layer-wise autoencoder training on unlabeled inputs:
+// each hidden layer is trained to reconstruct its (noise-corrupted) input
+// through a temporary sigmoid decoder, then the encoded representation
+// feeds the next layer.
+func (s *SAE) Pretrain(x [][]float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("neural: pretrain needs data")
+	}
+	rep := x
+	for li := 0; li < len(s.cfg.Hidden); li++ {
+		enc := s.net.Layers[li]
+		dec, err := NewDense(enc.Out, enc.In, ActSigmoid, s.rng)
+		if err != nil {
+			return err
+		}
+		ae := &Network{Layers: []*Dense{enc, dec}}
+		in := rep
+		if s.cfg.NoiseRatio > 0 {
+			in = s.corrupt(rep)
+		}
+		if _, err := ae.Train(in, rep, TrainConfig{
+			Epochs: s.cfg.PretrainEpochs, BatchSize: s.cfg.BatchSize,
+			LR: s.cfg.LR, Rng: s.rng,
+		}); err != nil {
+			return fmt.Errorf("neural: pretraining layer %d: %w", li, err)
+		}
+		// Encode for the next layer.
+		next := make([][]float64, len(rep))
+		for i := range rep {
+			next[i] = enc.Forward(rep[i])
+		}
+		rep = next
+	}
+	return nil
+}
+
+// corrupt returns a copy of x with each element zeroed with probability
+// NoiseRatio (denoising-autoencoder masking noise).
+func (s *SAE) corrupt(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		cp := make([]float64, len(row))
+		for j, v := range row {
+			if s.rng.Float64() < s.cfg.NoiseRatio {
+				cp[j] = 0
+			} else {
+				cp[j] = v
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// Fit pretrains on the inputs and fine-tunes on the labeled pairs,
+// returning the final fine-tuning loss.
+func (s *SAE) Fit(x, y [][]float64) (float64, error) {
+	if err := s.Pretrain(x); err != nil {
+		return 0, err
+	}
+	return s.net.Train(x, y, TrainConfig{
+		Epochs: s.cfg.FinetuneEpochs, BatchSize: s.cfg.BatchSize,
+		LR: s.cfg.LR, Rng: s.rng,
+	})
+}
+
+// Predict returns the regression output for one input.
+func (s *SAE) Predict(x []float64) []float64 {
+	return s.net.Forward(x)
+}

@@ -1,0 +1,198 @@
+package neural
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSAEConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SAEConfig
+	}{
+		{"zero input", SAEConfig{OutputDim: 1, Hidden: []int{4}}},
+		{"zero output", SAEConfig{InputDim: 4, Hidden: []int{4}}},
+		{"no hidden", SAEConfig{InputDim: 4, OutputDim: 1}},
+		{"zero hidden width", SAEConfig{InputDim: 4, OutputDim: 1, Hidden: []int{0}}},
+		{"bad noise", SAEConfig{InputDim: 4, OutputDim: 1, Hidden: []int{4}, NoiseRatio: 1.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewSAE(tc.cfg); err == nil {
+				t.Fatal("accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestSAEArchitecture(t *testing.T) {
+	s, err := NewSAE(SAEConfig{InputDim: 6, OutputDim: 1, Hidden: []int{8, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Network()
+	if len(n.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(n.Layers))
+	}
+	if n.Layers[0].Out != 8 || n.Layers[1].Out != 4 || n.Layers[2].Out != 1 {
+		t.Fatalf("widths = %d/%d/%d", n.Layers[0].Out, n.Layers[1].Out, n.Layers[2].Out)
+	}
+	if n.Layers[2].Act != ActIdentity {
+		t.Fatal("output head must be linear")
+	}
+	if n.Layers[0].Act != ActSigmoid || n.Layers[1].Act != ActSigmoid {
+		t.Fatal("hidden layers must be sigmoid")
+	}
+}
+
+func TestSAEPretrainNeedsData(t *testing.T) {
+	s, err := NewSAE(SAEConfig{InputDim: 4, OutputDim: 1, Hidden: []int{4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pretrain(nil); err == nil {
+		t.Fatal("empty pretrain accepted")
+	}
+}
+
+// synthWave builds a learnable nonlinear regression dataset: predict the
+// next value of a noisy sinusoid from a window of previous values.
+func synthWave(n, window int) (x, y [][]float64) {
+	series := make([]float64, n+window+1)
+	for i := range series {
+		tt := float64(i)
+		series[i] = 0.5 + 0.4*math.Sin(tt/6) + 0.05*math.Sin(tt/2.3)
+	}
+	for i := 0; i < n; i++ {
+		x = append(x, series[i:i+window])
+		y = append(y, []float64{series[i+window]})
+	}
+	return x, y
+}
+
+func TestSAEFitLearnsTimeSeries(t *testing.T) {
+	x, y := synthWave(400, 8)
+	s, err := NewSAE(SAEConfig{
+		InputDim: 8, OutputDim: 1, Hidden: []int{16, 8},
+		PretrainEpochs: 20, FinetuneEpochs: 80, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := s.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.002 {
+		t.Fatalf("SAE fit loss %v, want < 0.002", loss)
+	}
+	// Held-out style check on in-range inputs.
+	var worst float64
+	for i := 0; i < len(x); i += 37 {
+		got := s.Predict(x[i])[0]
+		if e := math.Abs(got - y[i][0]); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst prediction error %v, want < 0.15", worst)
+	}
+}
+
+func TestSAEPretrainingImprovesReconstruction(t *testing.T) {
+	x, _ := synthWave(300, 8)
+	s, err := NewSAE(SAEConfig{
+		InputDim: 8, OutputDim: 1, Hidden: []int{12},
+		PretrainEpochs: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction loss of an untrained encoder/decoder pair vs after
+	// pretraining: measure via a fresh decoder trained 0 epochs is awkward,
+	// so instead check that the pretrained first layer maps similar inputs
+	// to similar codes and dissimilar inputs to distinct codes.
+	if err := s.Pretrain(x); err != nil {
+		t.Fatal(err)
+	}
+	enc := s.Network().Layers[0]
+	a, b := enc.Forward(x[0]), enc.Forward(x[1]) // adjacent windows: similar
+	c := enc.Forward(x[150])                     // far window: different phase
+	dAB, dAC := 0.0, 0.0
+	for i := range a {
+		dAB += (a[i] - b[i]) * (a[i] - b[i])
+		dAC += (a[i] - c[i]) * (a[i] - c[i])
+	}
+	if dAB >= dAC {
+		t.Fatalf("code distances: adjacent %v should be below distant %v", dAB, dAC)
+	}
+}
+
+func TestSAEDeterministic(t *testing.T) {
+	x, y := synthWave(120, 6)
+	build := func() float64 {
+		s, err := NewSAE(SAEConfig{
+			InputDim: 6, OutputDim: 1, Hidden: []int{8},
+			PretrainEpochs: 5, FinetuneEpochs: 10, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := s.Fit(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("SAE nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSAECorruptMasksFraction(t *testing.T) {
+	s, err := NewSAE(SAEConfig{InputDim: 4, OutputDim: 1, Hidden: []int{4}, NoiseRatio: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([][]float64, 200)
+	for i := range x {
+		x[i] = []float64{1, 1, 1, 1}
+	}
+	out := s.corrupt(x)
+	zeros := 0
+	for _, row := range out {
+		for _, v := range row {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	frac := float64(zeros) / 800
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("masked fraction %v, want ≈0.5", frac)
+	}
+	// Original data untouched.
+	for _, row := range x {
+		for _, v := range row {
+			if v != 1 {
+				t.Fatal("corrupt mutated its input")
+			}
+		}
+	}
+}
+
+func BenchmarkSAEPredict(b *testing.B) {
+	x, y := synthWave(200, 8)
+	s, err := NewSAE(SAEConfig{InputDim: 8, OutputDim: 1, Hidden: []int{16, 8},
+		PretrainEpochs: 5, FinetuneEpochs: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Predict(x[i%len(x)])
+	}
+}

@@ -1,0 +1,84 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON model format lets a trained network (e.g. the SAE traffic
+// predictor, which takes minutes to train at full fidelity) be saved once
+// and reloaded by services like the vehicular cloud.
+
+// modelFile is the serialized network envelope.
+type modelFile struct {
+	Format  string      `json:"format"`
+	Version int         `json:"version"`
+	Layers  []layerFile `json:"layers"`
+}
+
+// layerFile is one serialized dense layer.
+type layerFile struct {
+	In  int        `json:"in"`
+	Out int        `json:"out"`
+	Act Activation `json:"act"`
+	W   []float64  `json:"w"`
+	B   []float64  `json:"b"`
+}
+
+// Serialization constants.
+const (
+	modelFormat  = "evvo-neural"
+	modelVersion = 1
+)
+
+// Save writes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	mf := modelFile{Format: modelFormat, Version: modelVersion}
+	for _, l := range n.Layers {
+		mf.Layers = append(mf.Layers, layerFile{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&mf); err != nil {
+		return fmt.Errorf("neural: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network saved by Save, validating shapes.
+func Load(r io.Reader) (*Network, error) {
+	var mf modelFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("neural: loading model: %w", err)
+	}
+	if mf.Format != modelFormat {
+		return nil, fmt.Errorf("neural: format %q, want %q", mf.Format, modelFormat)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("neural: model version %d unsupported (want %d)", mf.Version, modelVersion)
+	}
+	if len(mf.Layers) == 0 {
+		return nil, fmt.Errorf("neural: model has no layers")
+	}
+	n := &Network{}
+	prevOut := -1
+	for i, lf := range mf.Layers {
+		switch {
+		case lf.In <= 0 || lf.Out <= 0:
+			return nil, fmt.Errorf("neural: layer %d dims %d×%d invalid", i, lf.In, lf.Out)
+		case lf.Act < ActSigmoid || lf.Act > ActIdentity:
+			return nil, fmt.Errorf("neural: layer %d activation %d invalid", i, int(lf.Act))
+		case len(lf.W) != lf.In*lf.Out:
+			return nil, fmt.Errorf("neural: layer %d has %d weights, want %d", i, len(lf.W), lf.In*lf.Out)
+		case len(lf.B) != lf.Out:
+			return nil, fmt.Errorf("neural: layer %d has %d biases, want %d", i, len(lf.B), lf.Out)
+		case prevOut >= 0 && lf.In != prevOut:
+			return nil, fmt.Errorf("neural: layer %d input %d does not match previous output %d", i, lf.In, prevOut)
+		}
+		prevOut = lf.Out
+		n.Layers = append(n.Layers, &Dense{In: lf.In, Out: lf.Out, Act: lf.Act, W: lf.W, B: lf.B})
+	}
+	return n, nil
+}

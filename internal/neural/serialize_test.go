@@ -1,0 +1,83 @@
+package neural
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n, err := NewNetwork([]int{3, 5, 2}, []Activation{ActSigmoid, ActIdentity}, rng(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, -0.4, 0.9}
+	want := n.Forward(x)
+
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.Forward(x)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output %d: %v vs %v", i, out[i], want[i])
+		}
+	}
+	if got.InputDim() != 3 || got.OutputDim() != 2 {
+		t.Fatalf("dims %d/%d", got.InputDim(), got.OutputDim())
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{nope",
+		"wrong format":   `{"format":"other","version":1,"layers":[{"in":1,"out":1,"act":1,"w":[0],"b":[0]}]}`,
+		"wrong version":  `{"format":"evvo-neural","version":9,"layers":[{"in":1,"out":1,"act":1,"w":[0],"b":[0]}]}`,
+		"no layers":      `{"format":"evvo-neural","version":1,"layers":[]}`,
+		"bad dims":       `{"format":"evvo-neural","version":1,"layers":[{"in":0,"out":1,"act":1,"w":[],"b":[0]}]}`,
+		"bad activation": `{"format":"evvo-neural","version":1,"layers":[{"in":1,"out":1,"act":99,"w":[0],"b":[0]}]}`,
+		"weight count":   `{"format":"evvo-neural","version":1,"layers":[{"in":2,"out":1,"act":1,"w":[0],"b":[0]}]}`,
+		"bias count":     `{"format":"evvo-neural","version":1,"layers":[{"in":1,"out":1,"act":1,"w":[0],"b":[0,0]}]}`,
+		"shape mismatch": `{"format":"evvo-neural","version":1,"layers":[{"in":1,"out":2,"act":1,"w":[0,0],"b":[0,0]},{"in":3,"out":1,"act":1,"w":[0,0,0],"b":[0]}]}`,
+		"unknown field":  `{"format":"evvo-neural","version":1,"extra":1,"layers":[{"in":1,"out":1,"act":1,"w":[0],"b":[0]}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestSaveLoadTrainedSAE(t *testing.T) {
+	x, y := synthWave(150, 6)
+	s, err := NewSAE(SAEConfig{
+		InputDim: 6, OutputDim: 1, Hidden: []int{8},
+		PretrainEpochs: 5, FinetuneEpochs: 15, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Network().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(x); i += 29 {
+		if a, b := s.Predict(x[i])[0], loaded.Forward(x[i])[0]; a != b {
+			t.Fatalf("prediction diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+}

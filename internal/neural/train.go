@@ -1,0 +1,107 @@
+package neural
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrainConfig parameterizes minibatch SGD with momentum and L2 decay.
+type TrainConfig struct {
+	// Epochs is the number of full passes (required, > 0).
+	Epochs int
+	// BatchSize is the minibatch size (default 16).
+	BatchSize int
+	// LR is the learning rate (default 0.05).
+	LR float64
+	// Momentum is the classical momentum coefficient (default 0.9).
+	Momentum float64
+	// L2 is the weight-decay coefficient (default 0).
+	L2 float64
+	// Rng drives shuffling (required for determinism).
+	Rng *rand.Rand
+}
+
+func (c *TrainConfig) applyDefaults() {
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+}
+
+func (c *TrainConfig) validate(n *Network, x, y [][]float64) error {
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("neural: epochs %d must be positive", c.Epochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("neural: batch size %d must be positive", c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("neural: learning rate %g must be positive", c.LR)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("neural: momentum %g must be in [0, 1)", c.Momentum)
+	case c.L2 < 0:
+		return fmt.Errorf("neural: L2 %g must be non-negative", c.L2)
+	case c.Rng == nil:
+		return fmt.Errorf("neural: nil RNG; pass rand.New(rand.NewSource(seed))")
+	case len(x) == 0 || len(x) != len(y):
+		return fmt.Errorf("neural: dataset sizes %d/%d invalid", len(x), len(y))
+	}
+	for i := range x {
+		if len(x[i]) != n.InputDim() {
+			return fmt.Errorf("neural: sample %d has width %d, network wants %d", i, len(x[i]), n.InputDim())
+		}
+		if len(y[i]) != n.OutputDim() {
+			return fmt.Errorf("neural: target %d has width %d, network wants %d", i, len(y[i]), n.OutputDim())
+		}
+	}
+	return nil
+}
+
+// Train fits the network to (x, y) by minibatch SGD and returns the final
+// epoch's mean training loss.
+func (n *Network) Train(x, y [][]float64, cfg TrainConfig) (float64, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(n, x, y); err != nil {
+		return 0, err
+	}
+	g := newGrads(n)
+	vel := newGrads(n) // momentum velocity
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g.zero()
+			for _, s := range idx[start:end] {
+				epochLoss += n.backprop(x[s], y[s], g)
+			}
+			scale := cfg.LR / float64(end-start)
+			for li, l := range n.Layers {
+				for wi := range l.W {
+					v := cfg.Momentum*vel.dW[li][wi] - scale*(g.dW[li][wi]+cfg.L2*l.W[wi])
+					vel.dW[li][wi] = v
+					l.W[wi] += v
+				}
+				for bi := range l.B {
+					v := cfg.Momentum*vel.dB[li][bi] - scale*g.dB[li][bi]
+					vel.dB[li][bi] = v
+					l.B[bi] += v
+				}
+			}
+		}
+		epochLoss /= float64(len(x))
+	}
+	return epochLoss, nil
+}

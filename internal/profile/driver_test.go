@@ -1,0 +1,214 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"evvo/internal/ev"
+	"evvo/internal/road"
+)
+
+func driveUS25(t *testing.T, style Style, depart float64, qd QueueDelayFunc) *Profile {
+	t.Helper()
+	p, err := Drive(DriveConfig{Route: road.US25(), Style: style, DepartTime: depart, QueueDelay: qd})
+	if err != nil {
+		t.Fatalf("Drive(%s): %v", style.Name, err)
+	}
+	return p
+}
+
+func TestDriveValidation(t *testing.T) {
+	if _, err := Drive(DriveConfig{Style: Mild()}); err == nil {
+		t.Fatal("nil route accepted")
+	}
+	if _, err := Drive(DriveConfig{Route: road.US25(), Style: Style{}}); err == nil {
+		t.Fatal("zero style accepted")
+	}
+	if _, err := Drive(DriveConfig{Route: road.US25(), Style: Mild(), StepSec: -1}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+func TestStyleValidate(t *testing.T) {
+	for _, s := range []Style{Mild(), Fast()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := Mild()
+	bad.SpeedFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("speed fraction > 1 accepted")
+	}
+	bad = Fast()
+	bad.StopSignWaitSec = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative stop wait accepted")
+	}
+}
+
+func TestDriveCoversRouteAndEndsAtRest(t *testing.T) {
+	for _, style := range []Style{Mild(), Fast()} {
+		p := driveUS25(t, style, 0, nil)
+		if !almost(p.Distance(), 4200, 1.0) {
+			t.Errorf("%s: distance %v, want 4200", style.Name, p.Distance())
+		}
+		pts := p.Points()
+		if last := pts[len(pts)-1]; last.V != 0 {
+			t.Errorf("%s: final speed %v, want 0", style.Name, last.V)
+		}
+		if first := pts[0]; first.V != 0 || first.Pos != 0 {
+			t.Errorf("%s: first point %+v, want standing start at origin", style.Name, first)
+		}
+	}
+}
+
+func TestDriveRespectsSpeedLimit(t *testing.T) {
+	for _, style := range []Style{Mild(), Fast()} {
+		p := driveUS25(t, style, 0, nil)
+		if pos, v := p.ViolatesLimits(road.US25(), 0.05); v {
+			t.Errorf("%s: exceeds limit at %v m", style.Name, pos)
+		}
+	}
+}
+
+func TestDriveStopsAtStopSign(t *testing.T) {
+	p := driveUS25(t, Fast(), 0, nil)
+	// Speed at the stop sign position must be ~0.
+	if v := p.SpeedAtPos(490); v > 0.3 {
+		t.Fatalf("speed at stop sign = %v, want ≈0", v)
+	}
+}
+
+func TestMildSlowerThanFast(t *testing.T) {
+	mild := driveUS25(t, Mild(), 0, nil)
+	fast := driveUS25(t, Fast(), 0, nil)
+	if mild.MaxSpeed() >= fast.MaxSpeed() {
+		t.Fatalf("mild max %v should be below fast max %v", mild.MaxSpeed(), fast.MaxSpeed())
+	}
+}
+
+func TestFastUsesMoreEnergyThanMild(t *testing.T) {
+	// Paper Fig. 7(b): fast driving consumes more than mild driving.
+	mild := driveUS25(t, Mild(), 0, nil)
+	fast := driveUS25(t, Fast(), 0, nil)
+	params := ev.SparkEV()
+	em, err := mild.Energy(params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := fast.Energy(params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef <= em {
+		t.Fatalf("fast energy %v Ah should exceed mild %v Ah", ef, em)
+	}
+}
+
+func TestDriveWaitsForRedLight(t *testing.T) {
+	// Depart so that a fast driver hits light-1 (1800 m) during red.
+	// At 60 km/h ≈ 16.7 m/s, 1800 m takes ≈ 115 s. Cycle is 30R/30G: 115 mod
+	// 60 = 55 → green. Shift departure by 20 s → arrival ≈ 135 ≡ 15 (red).
+	p := driveUS25(t, Fast(), 20, nil)
+	arrive := p.TimeAtPos(1800)
+	cross := p.TimeAtPos(1801) // when the vehicle actually leaves the line
+	timing := road.SignalTiming{RedSec: 30, GreenSec: 30}
+	if green, _ := timing.PhaseAt(arrive); green {
+		t.Fatalf("test setup: driver should arrive at light-1 during red, got green at t=%v", arrive)
+	}
+	if green, _ := timing.PhaseAt(cross); !green {
+		t.Fatalf("driver crossed light-1 during red at t=%v", cross)
+	}
+	if v := p.SpeedAtPos(1800); v > 0.5 {
+		t.Fatalf("expected a stop at light-1, speed = %v", v)
+	}
+}
+
+func TestDriveQueueDelayAddsDwell(t *testing.T) {
+	const extra = 7.0
+	var sawControl string
+	qd := func(c road.Control, arrival float64) float64 {
+		sawControl = c.Name
+		return extra
+	}
+	base := driveUS25(t, Fast(), 20, nil)
+	delayed := driveUS25(t, Fast(), 20, qd)
+	if sawControl == "" {
+		t.Fatal("queue delay callback never invoked")
+	}
+	if delayed.Duration() < base.Duration()+extra-1 {
+		t.Fatalf("queue delay did not extend trip: base %v, delayed %v", base.Duration(), delayed.Duration())
+	}
+}
+
+func TestDriveNegativeQueueDelayIgnored(t *testing.T) {
+	qd := func(road.Control, float64) float64 { return -100 }
+	base := driveUS25(t, Fast(), 20, nil)
+	p := driveUS25(t, Fast(), 20, qd)
+	if math.Abs(p.Duration()-base.Duration()) > 1 {
+		t.Fatalf("negative delay changed trip time: %v vs %v", p.Duration(), base.Duration())
+	}
+}
+
+func TestDriveGreenPassThrough(t *testing.T) {
+	// A route with a single always-green signal: the driver never stops.
+	r, err := road.NewRoute(road.RouteConfig{
+		LengthM: 2000, DefaultMaxMS: 20,
+		Controls: []road.Control{{
+			Kind: road.ControlSignal, PositionM: 1000,
+			Timing: road.SignalTiming{RedSec: 0, GreenSec: 60}, Name: "always-green",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Drive(DriveConfig{Route: r, Style: Fast()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.SpeedAtPos(1000); v < 10 {
+		t.Fatalf("driver slowed to %v at an always-green light", v)
+	}
+	if stops := p.Stops(0.2, 1); stops != 0 {
+		t.Fatalf("driver made %d stops on an open road", stops)
+	}
+}
+
+func TestDriveImpassableRouteErrors(t *testing.T) {
+	// A signal with a monstrous red phase: Drive must give up, not hang.
+	r, err := road.NewRoute(road.RouteConfig{
+		LengthM: 2000, DefaultMaxMS: 20,
+		Controls: []road.Control{{
+			Kind: road.ControlSignal, PositionM: 1000,
+			Timing: road.SignalTiming{RedSec: 5 * 3600, GreenSec: 1}, Name: "stuck",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(DriveConfig{Route: r, Style: Fast(), StepSec: 0.5}); err == nil {
+		t.Fatal("impassable route should error")
+	}
+}
+
+func TestDriveDeterministic(t *testing.T) {
+	a := driveUS25(t, Mild(), 0, nil)
+	b := driveUS25(t, Mild(), 0, nil)
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("runs differ in length: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("runs differ at %d: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestDriveDepartTimeShiftsProfile(t *testing.T) {
+	p := driveUS25(t, Mild(), 100, nil)
+	if p.Points()[0].T != 100 {
+		t.Fatalf("first point T = %v, want 100", p.Points()[0].T)
+	}
+}

@@ -1,0 +1,375 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evvo/internal/ev"
+	"evvo/internal/road"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// rampProfile accelerates uniformly from rest to 20 m/s over 20 s, then
+// cruises 20 s.
+func rampProfile(t *testing.T) *Profile {
+	t.Helper()
+	var pts []Point
+	for i := 0; i <= 200; i++ {
+		tt := float64(i) * 0.1
+		v := math.Min(20, tt)
+		var pos float64
+		if tt <= 20 {
+			pos = 0.5 * tt * tt
+		} else {
+			pos = 200 + 20*(tt-20)
+		}
+		_ = v
+		pts = append(pts, Point{T: tt, Pos: pos, V: v})
+	}
+	p, err := New(pts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+	}{
+		{"too few", []Point{{T: 0}}},
+		{"time backwards", []Point{{T: 1, Pos: 0, V: 0}, {T: 0, Pos: 1, V: 1}}},
+		{"position backwards", []Point{{T: 0, Pos: 5, V: 0}, {T: 1, Pos: 4, V: 1}}},
+		{"negative speed", []Point{{T: 0, Pos: 0, V: -1}, {T: 1, Pos: 1, V: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.pts); err == nil {
+				t.Fatal("accepted invalid points")
+			}
+		})
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	pts := []Point{{T: 0, Pos: 0, V: 0}, {T: 1, Pos: 1, V: 1}}
+	p, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0].V = 99
+	if p.Points()[0].V != 0 {
+		t.Fatal("New did not copy input")
+	}
+	got := p.Points()
+	got[1].V = 42
+	if p.Points()[1].V != 1 {
+		t.Fatal("Points exposed internal slice")
+	}
+}
+
+func TestDurationDistanceAverages(t *testing.T) {
+	p := rampProfile(t)
+	if !almost(p.Duration(), 20, 1e-9) {
+		t.Fatalf("Duration = %v, want 20", p.Duration())
+	}
+	if !almost(p.Distance(), 200+20*0, 300) { // 200 accel + 0..? sanity only
+		t.Fatalf("Distance = %v", p.Distance())
+	}
+	if p.MaxSpeed() != 20 {
+		t.Fatalf("MaxSpeed = %v, want 20", p.MaxSpeed())
+	}
+	if avg := p.AverageSpeed(); avg <= 0 || avg > 20 {
+		t.Fatalf("AverageSpeed = %v out of range", avg)
+	}
+}
+
+func TestSpeedAtPosInterpolation(t *testing.T) {
+	p, err := New([]Point{
+		{T: 0, Pos: 0, V: 0},
+		{T: 10, Pos: 100, V: 20},
+		{T: 20, Pos: 300, V: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SpeedAtPos(50); !almost(got, 10, 1e-9) {
+		t.Fatalf("SpeedAtPos(50) = %v, want 10", got)
+	}
+	if got := p.SpeedAtPos(-5); got != 0 {
+		t.Fatalf("SpeedAtPos before start = %v, want 0", got)
+	}
+	if got := p.SpeedAtPos(1000); got != 20 {
+		t.Fatalf("SpeedAtPos past end = %v, want 20", got)
+	}
+}
+
+func TestSpeedAtPosDwell(t *testing.T) {
+	// A dwell (same position, multiple times) should not break lookup.
+	p, err := New([]Point{
+		{T: 0, Pos: 0, V: 10},
+		{T: 5, Pos: 50, V: 0},
+		{T: 15, Pos: 50, V: 0},
+		{T: 25, Pos: 150, V: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SpeedAtPos(50); got != 0 {
+		t.Fatalf("SpeedAtPos at dwell = %v, want 0", got)
+	}
+	if got := p.TimeAtPos(50); !almost(got, 5, 1e-9) {
+		t.Fatalf("TimeAtPos(50) = %v, want first arrival 5", got)
+	}
+}
+
+func TestTimeAtPosMonotone(t *testing.T) {
+	p := rampProfile(t)
+	prev := -1.0
+	for pos := 0.0; pos <= p.Distance(); pos += 10 {
+		tt := p.TimeAtPos(pos)
+		if tt < prev {
+			t.Fatalf("TimeAtPos not monotone at %v: %v < %v", pos, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestSpeedAtTime(t *testing.T) {
+	p := rampProfile(t)
+	if got := p.SpeedAtTime(10); !almost(got, 10, 0.2) {
+		t.Fatalf("SpeedAtTime(10) = %v, want ≈10", got)
+	}
+	if got := p.SpeedAtTime(-1); got != 0 {
+		t.Fatalf("SpeedAtTime before start = %v, want 0", got)
+	}
+	if got := p.SpeedAtTime(999); got != 20 {
+		t.Fatalf("SpeedAtTime past end = %v, want 20", got)
+	}
+}
+
+func TestStopsCounting(t *testing.T) {
+	p, err := New([]Point{
+		{T: 0, Pos: 0, V: 0}, // initial standstill: not a stop
+		{T: 5, Pos: 50, V: 10},
+		{T: 10, Pos: 100, V: 0}, // stop 1 (5 s)
+		{T: 15, Pos: 100, V: 0},
+		{T: 20, Pos: 150, V: 10},
+		{T: 22, Pos: 170, V: 0}, // blip below threshold duration
+		{T: 22.5, Pos: 172, V: 10},
+		{T: 30, Pos: 250, V: 0}, // final stop: not counted
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stops(0.1, 2); got != 1 {
+		t.Fatalf("Stops = %d, want 1", got)
+	}
+	if got := p.Stops(0.1, 0.1); got != 2 {
+		t.Fatalf("Stops with short minDur = %d, want 2", got)
+	}
+}
+
+func TestEnergyPositiveForDrive(t *testing.T) {
+	p := rampProfile(t)
+	ah, err := p.Energy(ev.SparkEV(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ah <= 0 {
+		t.Fatalf("Energy = %v Ah, want positive for an accelerating drive", ah)
+	}
+	mah, err := p.EnergyMAh(ev.SparkEV(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mah, ah*1000, 1e-9) {
+		t.Fatalf("EnergyMAh = %v, want %v", mah, ah*1000)
+	}
+}
+
+func TestEnergyRejectsBadParams(t *testing.T) {
+	p := rampProfile(t)
+	if _, err := p.Energy(ev.Params{}, nil); err == nil {
+		t.Fatal("Energy accepted invalid params")
+	}
+}
+
+func TestEnergyUphillCostsMore(t *testing.T) {
+	p := rampProfile(t)
+	flat, err := p.Energy(ev.SparkEV(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := p.Energy(ev.SparkEV(), func(float64) float64 { return 0.03 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up <= flat {
+		t.Fatalf("uphill energy %v should exceed flat %v", up, flat)
+	}
+}
+
+func TestEnergyDwellConsumesNothing(t *testing.T) {
+	moving, err := New([]Point{{T: 0, Pos: 0, V: 10}, {T: 10, Pos: 100, V: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDwell, err := New([]Point{
+		{T: 0, Pos: 0, V: 10}, {T: 10, Pos: 100, V: 10},
+		{T: 60, Pos: 100, V: 10}, // 50 s dwell (same pos)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := moving.Energy(ev.SparkEV(), nil)
+	e2, _ := withDwell.Energy(ev.SparkEV(), nil)
+	if !almost(e1, e2, 1e-12) {
+		t.Fatalf("dwell changed energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestResampleByDistance(t *testing.T) {
+	p := rampProfile(t)
+	r, err := p.ResampleByDistance(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.Distance(), p.Distance(), 1e-6) {
+		t.Fatalf("resample changed distance: %v vs %v", r.Distance(), p.Distance())
+	}
+	if !almost(r.Duration(), p.Duration(), 0.2) {
+		t.Fatalf("resample changed duration: %v vs %v", r.Duration(), p.Duration())
+	}
+	if _, err := p.ResampleByDistance(0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+// Property: resampling at any positive step preserves endpoints.
+func TestPropResamplePreservesEndpoints(t *testing.T) {
+	p := rampProfile(t)
+	f := func(stepRaw float64) bool {
+		step := math.Mod(math.Abs(stepRaw), 100) + 1
+		r, err := p.ResampleByDistance(step)
+		if err != nil {
+			return false
+		}
+		pts := r.Points()
+		return almost(pts[0].Pos, 0, 1e-9) && almost(pts[len(pts)-1].Pos, p.Distance(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolatesLimits(t *testing.T) {
+	r := road.US25()
+	ok, err := New([]Point{{T: 0, Pos: 0, V: 0}, {T: 100, Pos: 4200, V: road.KmhToMs(55)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, v := ok.ViolatesLimits(r, 0.1); v {
+		t.Fatalf("legal profile flagged at %v", pos)
+	}
+	bad, err := New([]Point{{T: 0, Pos: 0, V: 0}, {T: 100, Pos: 4200, V: road.KmhToMs(80)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := bad.ViolatesLimits(r, 0.1); !v {
+		t.Fatal("speeding profile not flagged")
+	}
+}
+
+func TestSOCTrace(t *testing.T) {
+	p := rampProfile(t)
+	trace, err := p.SOCTrace(ev.SparkEV(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != p.Len() {
+		t.Fatalf("trace length %d, want %d", len(trace), p.Len())
+	}
+	if trace[0].SOC != 1 {
+		t.Fatalf("initial SOC %v, want 1 (full pack)", trace[0].SOC)
+	}
+	last := trace[len(trace)-1]
+	if last.SOC >= 1 || last.SOC <= 0 {
+		t.Fatalf("final SOC %v out of range", last.SOC)
+	}
+	// SOC never increases beyond full and never goes negative; the net
+	// drop must equal the profile's net energy.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].SOC < 0 || trace[i].SOC > 1 {
+			t.Fatalf("SOC %v out of [0,1] at %d", trace[i].SOC, i)
+		}
+	}
+	ah, err := p.Energy(ev.SparkEV(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFinal := 1 - ah/ev.SparkEV().PackCapacityAh
+	if !almost(last.SOC, wantFinal, 1e-9) {
+		t.Fatalf("final SOC %v inconsistent with Energy (%v)", last.SOC, wantFinal)
+	}
+	if _, err := p.SOCTrace(ev.Params{}, nil); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestWearIntegration(t *testing.T) {
+	p := rampProfile(t)
+	m, err := ev.NewWearModel(ev.SparkEV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Wear(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w > 0.1 {
+		t.Fatalf("trip wear %v cycles implausible", w)
+	}
+	if _, err := p.Wear(nil, nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestWearPunishesHarshDriving(t *testing.T) {
+	// Same distance and similar speeds, but one profile oscillates: the
+	// oscillating trip must wear the pack more per the C-rate stress.
+	smooth, err := New([]Point{
+		{T: 0, Pos: 0, V: 15}, {T: 40, Pos: 600, V: 15}, {T: 80, Pos: 1200, V: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for i := 0; i <= 80; i++ {
+		tt := float64(i)
+		v := 15 + 5*math.Sin(tt/3)
+		pts = append(pts, Point{T: tt, Pos: 15 * tt, V: v})
+	}
+	jagged, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ev.NewWearModel(ev.SparkEV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := smooth.Wear(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := jagged.Wear(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wj <= ws {
+		t.Fatalf("oscillating wear %v not above smooth %v", wj, ws)
+	}
+}

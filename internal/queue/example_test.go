@@ -1,0 +1,46 @@
+package queue_test
+
+import (
+	"fmt"
+
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// ExampleModel_QueueClearTime reproduces the paper's Section III-B-2
+// measurement: at the second US-25 light (d = 8.5 m, γ = 76.36%,
+// V_in = 153 veh/h, 30 s red / 30 s green), when does the standing queue
+// finish discharging?
+func ExampleModel_QueueClearTime() {
+	m, err := queue.NewModel(queue.US25Params(), road.SignalTiming{RedSec: 30, GreenSec: 30})
+	if err != nil {
+		panic(err)
+	}
+	vin := queue.VehPerHour(153)
+	clear, ok := m.QueueClearTime(vin)
+	fmt.Printf("clears=%v at %.1f s into the cycle (green opens at 30 s)\n", ok, clear)
+	w, _ := m.ZeroQueueWindow(vin)
+	fmt.Printf("zero-queue window T_q: [%.1f, %.1f) s\n", w.Start, w.End)
+	// Output:
+	// clears=true at 33.1 s into the cycle (green opens at 30 s)
+	// zero-queue window T_q: [33.1, 60.0) s
+}
+
+// ExampleModel_Integrate shows the discrete integrator handling a queue
+// that outlives a single cycle under heavy arrivals.
+func ExampleModel_Integrate() {
+	m, err := queue.NewModel(queue.US25Params(), road.SignalTiming{RedSec: 30, GreenSec: 30})
+	if err != nil {
+		panic(err)
+	}
+	// Oversaturated: arrivals beyond the discharge capacity.
+	vin := m.VMinMS / m.SpacingM * 1.2
+	samples, err := m.Integrate(queue.ConstantRate(vin), 0, 300, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	last := samples[len(samples)-1]
+	fmt.Printf("after %.0f s the residual queue holds %d vehicles\n", last.T, int(last.QueueVeh))
+	// Output:
+	// after 300 s the residual queue holds 234 vehicles
+}

@@ -1,0 +1,205 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"evvo/internal/road"
+)
+
+func TestIntegrateValidation(t *testing.T) {
+	m := mustModel(t)
+	if _, err := m.Integrate(ConstantRate(0.1), 0, 60, 0); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+	if _, err := m.Integrate(ConstantRate(0.1), 60, 60, 0.1); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestIntegrateMatchesClosedForm(t *testing.T) {
+	// For constant V_in within one undersaturated cycle, the integrator must
+	// track the closed-form Eq. (6) solution closely.
+	m := mustModel(t)
+	vin := paperVin()
+	samples, err := m.Integrate(ConstantRate(vin), 0, 60, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for _, s := range samples {
+		want := m.QueueLenM(s.T, vin)
+		if e := math.Abs(s.QueueM - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	// One spacing's worth of discretization error is acceptable.
+	if maxErr > m.SpacingM {
+		t.Fatalf("max |integrated − closed form| = %.3f m, want ≤ %.1f m", maxErr, m.SpacingM)
+	}
+}
+
+func TestIntegrateQueueNeverNegative(t *testing.T) {
+	m := mustModel(t)
+	samples, err := m.Integrate(ConstantRate(paperVin()), 0, 600, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.QueueVeh < 0 {
+			t.Fatalf("negative queue %v at t=%v", s.QueueVeh, s.T)
+		}
+	}
+}
+
+func TestIntegrateOversaturationAccumulates(t *testing.T) {
+	m := mustModel(t)
+	vin := m.VMinMS / m.SpacingM * 1.5 // arrivals beyond any discharge capacity
+	samples, err := m.Integrate(ConstantRate(vin), 0, 600, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endQueue := samples[len(samples)-1].QueueVeh
+	midQueue := samples[len(samples)/2].QueueVeh
+	if endQueue <= midQueue {
+		t.Fatalf("oversaturated queue should grow: mid=%v end=%v", midQueue, endQueue)
+	}
+}
+
+func TestIntegrateTimeVaryingRate(t *testing.T) {
+	// Rate drops to zero halfway; the queue must eventually empty and stay
+	// empty across later cycles.
+	m := mustModel(t)
+	rate := func(t float64) float64 {
+		if t < 300 {
+			return VehPerHour(300)
+		}
+		return 0
+	}
+	samples, err := m.Integrate(rate, 0, 900, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := samples[len(samples)-1]
+	if last.QueueVeh != 0 {
+		t.Fatalf("queue should fully drain after arrivals stop, got %v", last.QueueVeh)
+	}
+}
+
+func TestIntegrateNegativeRateClamped(t *testing.T) {
+	m := mustModel(t)
+	samples, err := m.Integrate(ConstantRate(-5), 0, 60, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.InRate != 0 || s.QueueVeh != 0 {
+			t.Fatalf("negative arrival rate should clamp to zero: %+v", s)
+		}
+	}
+}
+
+func TestZeroWindowsIntegratedMatchesClosedForm(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	samples, err := m.Integrate(ConstantRate(vin), 0, 180, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ZeroWindowsIntegrated(samples, 1e-6)
+	want := m.ZeroWindowsAbs(vin, 0, 180)
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows %+v, want %d %+v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if math.Abs(got[i].Start-want[i].Start) > 0.5 || math.Abs(got[i].End-want[i].End) > 0.5 {
+			t.Fatalf("window %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestZeroWindowsIntegratedOpenTail(t *testing.T) {
+	m := mustModel(t)
+	// End the trajectory inside a zero-queue green phase: window must close
+	// at the last sample.
+	samples, err := m.Integrate(ConstantRate(0), 0, 45, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := ZeroWindowsIntegrated(samples, 1e-6)
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows, want 1: %+v", len(ws), ws)
+	}
+	if !almost(ws[0].End, 45, 0.2) {
+		t.Fatalf("open tail window should end at trajectory end, got %+v", ws[0])
+	}
+}
+
+func TestCurrentModelValidation(t *testing.T) {
+	if _, err := NewCurrentModel(Params{}, testTiming()); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := NewCurrentModel(US25Params(), road.SignalTiming{RedSec: 10}); err == nil {
+		t.Fatal("invalid timing accepted")
+	}
+}
+
+func TestCurrentModelStepLeavingRate(t *testing.T) {
+	cur, err := NewCurrentModel(US25Params(), testTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vin := paperVin()
+	if r := cur.LeavingRate(10, vin); r != 0 {
+		t.Fatalf("red leaving rate = %v, want 0", r)
+	}
+	// Immediately at green onset the step model is already at v_min/d.
+	want := cur.VMinMS / cur.SpacingM
+	if r := cur.LeavingRate(30.01, vin); !almost(r, want, 1e-9) {
+		t.Fatalf("step leaving rate = %v, want %v", r, want)
+	}
+}
+
+func TestCurrentModelQueueDrainsLinearly(t *testing.T) {
+	cur, err := NewCurrentModel(US25Params(), testTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vin := paperVin()
+	peak := cur.QueueLenM(30, vin)
+	l1 := cur.QueueLenM(30.2, vin)
+	l2 := cur.QueueLenM(30.4, vin)
+	if !(peak > l1 && l1 > l2) {
+		t.Fatalf("current-model queue should drain immediately: %v, %v, %v", peak, l1, l2)
+	}
+	// Drain slope = d·vin − v_min.
+	slope := (l2 - l1) / 0.2
+	if !almost(slope, cur.SpacingM*vin-cur.VMinMS, 1e-6) {
+		t.Fatalf("drain slope = %v, want %v", slope, cur.SpacingM*vin-cur.VMinMS)
+	}
+}
+
+func TestCurrentModelClearsBeforeVM(t *testing.T) {
+	// Paper Fig. 5(b): the current model underestimates queue persistence.
+	m := mustModel(t)
+	cur, _ := NewCurrentModel(US25Params(), testTiming())
+	vin := paperVin()
+	vmClear, ok1 := m.QueueClearTime(vin)
+	curClear, ok2 := cur.QueueClearTime(vin)
+	if !ok1 || !ok2 {
+		t.Fatal("both should clear")
+	}
+	if curClear >= vmClear {
+		t.Fatalf("current model clear %v should precede VM clear %v", curClear, vmClear)
+	}
+}
+
+func TestCurrentModelOversaturation(t *testing.T) {
+	cur, _ := NewCurrentModel(US25Params(), testTiming())
+	if _, ok := cur.QueueClearTime(cur.VMinMS/cur.SpacingM + 0.1); ok {
+		t.Fatal("oversaturated current model should not clear")
+	}
+	if clear, ok := cur.QueueClearTime(0); !ok || clear != 30 {
+		t.Fatalf("zero arrivals clear = (%v, %v), want (30, true)", clear, ok)
+	}
+}

@@ -1,0 +1,405 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evvo/internal/road"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func testTiming() road.SignalTiming { return road.SignalTiming{RedSec: 30, GreenSec: 30} }
+
+// paperVin is the arrival rate measured at the second US-25 light:
+// 153 vehicles/hour.
+func paperVin() float64 { return VehPerHour(153) }
+
+func mustModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(US25Params(), testTiming())
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestVehPerHour(t *testing.T) {
+	if got := VehPerHour(3600); got != 1 {
+		t.Fatalf("VehPerHour(3600) = %v, want 1", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero vmin", func(p *Params) { p.VMinMS = 0 }},
+		{"zero amax", func(p *Params) { p.AMaxMS2 = 0 }},
+		{"zero spacing", func(p *Params) { p.SpacingM = 0 }},
+		{"zero gamma", func(p *Params) { p.StraightRatio = 0 }},
+		{"gamma above one", func(p *Params) { p.StraightRatio = 1.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := US25Params()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", p)
+			}
+			if _, err := NewModel(p, testTiming()); err == nil {
+				t.Fatal("NewModel accepted invalid params")
+			}
+		})
+	}
+	if err := US25Params().Validate(); err != nil {
+		t.Fatalf("US25Params invalid: %v", err)
+	}
+}
+
+func TestNewModelRejectsBadTiming(t *testing.T) {
+	if _, err := NewModel(US25Params(), road.SignalTiming{RedSec: 10, GreenSec: 0}); err == nil {
+		t.Fatal("NewModel accepted zero green")
+	}
+}
+
+func TestT1(t *testing.T) {
+	m := mustModel(t)
+	want := 30 + m.VMinMS/m.AMaxMS2 // 30 + 11.11/2.5 ≈ 34.44
+	if got := m.T1(); !almost(got, want, 1e-12) {
+		t.Fatalf("T1 = %v, want %v", got, want)
+	}
+}
+
+func TestHeadSpeedPiecewise(t *testing.T) {
+	m := mustModel(t)
+	if v := m.HeadSpeed(0); v != 0 {
+		t.Fatalf("HeadSpeed(0) = %v, want 0 (red)", v)
+	}
+	if v := m.HeadSpeed(29.9); v != 0 {
+		t.Fatalf("HeadSpeed(29.9) = %v, want 0 (red)", v)
+	}
+	if v := m.HeadSpeed(31); !almost(v, 2.5, 1e-12) {
+		t.Fatalf("HeadSpeed(31) = %v, want 2.5 (1s at a_max)", v)
+	}
+	if v := m.HeadSpeed(m.T1() + 5); !almost(v, m.VMinMS, 1e-12) {
+		t.Fatalf("HeadSpeed past T1 = %v, want v_min %v", v, m.VMinMS)
+	}
+}
+
+func TestHeadSpeedContinuousAtT1(t *testing.T) {
+	m := mustModel(t)
+	eps := 1e-9
+	before := m.HeadSpeed(m.T1() - eps)
+	after := m.HeadSpeed(m.T1() + eps)
+	if !almost(before, after, 1e-6) {
+		t.Fatalf("HeadSpeed discontinuous at T1: %v vs %v", before, after)
+	}
+}
+
+func TestDischargeCapacityMatchesEq5(t *testing.T) {
+	m := mustModel(t)
+	at := 40.0 // past T1, head at v_min
+	want := m.VMinMS / (m.SpacingM * m.StraightRatio)
+	if got := m.DischargeCapacity(at); !almost(got, want, 1e-12) {
+		t.Fatalf("DischargeCapacity = %v, want v_min/(dγ) = %v", got, want)
+	}
+}
+
+func TestLeavingRatePhases(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	if r := m.LeavingRate(10, vin); r != 0 {
+		t.Fatalf("LeavingRate during red = %v, want 0", r)
+	}
+	// Just after green onset: ramping capacity, below saturation.
+	r := m.LeavingRate(30.5, vin)
+	if r <= 0 || r >= m.VMinMS/(m.SpacingM*m.StraightRatio) {
+		t.Fatalf("LeavingRate(30.5) = %v, want ramping in (0, capacity)", r)
+	}
+	// After the queue clears: pass-through at V_in.
+	clear, ok := m.QueueClearTime(vin)
+	if !ok {
+		t.Fatal("queue should clear at paper arrival rate")
+	}
+	if r := m.LeavingRate(clear+1, vin); !almost(r, vin, 1e-12) {
+		t.Fatalf("LeavingRate after clear = %v, want V_in %v", r, vin)
+	}
+}
+
+func TestVMSlowerThanCurrentModel(t *testing.T) {
+	// Paper Fig. 5(a): the VM model takes longer to reach steady state than
+	// the step model because it models the acceleration ramp.
+	m := mustModel(t)
+	cur, err := NewCurrentModel(US25Params(), testTiming())
+	if err != nil {
+		t.Fatalf("NewCurrentModel: %v", err)
+	}
+	vin := paperVin()
+	at := 31.0 // 1 s into green
+	vm := m.LeavingRate(at, vin)
+	step := cur.LeavingRate(at, vin)
+	if vm >= step {
+		t.Fatalf("VM leaving rate %v should be below step model %v during the ramp", vm, step)
+	}
+	vmClear, ok1 := m.QueueClearTime(vin)
+	curClear, ok2 := cur.QueueClearTime(vin)
+	if !ok1 || !ok2 {
+		t.Fatal("both models should clear")
+	}
+	if vmClear <= curClear {
+		t.Fatalf("VM clear time %v should be later than current model %v", vmClear, curClear)
+	}
+}
+
+func TestQueueLenBuildsDuringRed(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	l10 := m.QueueLenM(10, vin)
+	l20 := m.QueueLenM(20, vin)
+	if !almost(l10, m.SpacingM*vin*10, 1e-12) {
+		t.Fatalf("QueueLenM(10) = %v, want linear build %v", l10, m.SpacingM*vin*10)
+	}
+	if l20 <= l10 {
+		t.Fatalf("queue should grow during red: %v then %v", l10, l20)
+	}
+}
+
+func TestQueueLenZeroAfterClear(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	clear, ok := m.QueueClearTime(vin)
+	if !ok {
+		t.Fatal("should clear")
+	}
+	if l := m.QueueLenM(clear+0.5, vin); l != 0 {
+		t.Fatalf("QueueLenM after clear = %v, want 0", l)
+	}
+	if l := m.QueueLenM(59.9, vin); l != 0 {
+		t.Fatalf("QueueLenM at cycle end = %v, want 0", l)
+	}
+}
+
+func TestQueueLenVehicles(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	if got, want := m.QueueLenVehicles(20, vin), m.QueueLenM(20, vin)/m.SpacingM; !almost(got, want, 1e-12) {
+		t.Fatalf("QueueLenVehicles = %v, want %v", got, want)
+	}
+}
+
+func TestQueueClearTimeZeroArrivals(t *testing.T) {
+	m := mustModel(t)
+	clear, ok := m.QueueClearTime(0)
+	if !ok || clear != m.Timing.RedSec {
+		t.Fatalf("QueueClearTime(0) = (%v, %v), want (%v, true)", clear, ok, m.Timing.RedSec)
+	}
+}
+
+func TestQueueClearTimeOversaturated(t *testing.T) {
+	m := mustModel(t)
+	// Arrivals faster than v_min/d can ever discharge.
+	vin := m.VMinMS/m.SpacingM + 1
+	if _, ok := m.QueueClearTime(vin); ok {
+		t.Fatal("oversaturated queue reported as clearing")
+	}
+	if _, ok := m.ZeroQueueWindow(vin); ok {
+		t.Fatal("oversaturated queue reported a zero window")
+	}
+}
+
+func TestQueueClearConsistentWithQueueLen(t *testing.T) {
+	m := mustModel(t)
+	for _, vinH := range []float64{20, 80, 153, 300, 600, 1200} {
+		vin := VehPerHour(vinH)
+		clear, ok := m.QueueClearTime(vin)
+		if !ok {
+			continue
+		}
+		// Just before the clear time the closed-form queue is positive;
+		// at/after it is zero.
+		if clear > m.Timing.RedSec+0.2 {
+			if l := m.QueueLenM(clear-0.1, vin); l <= 0 {
+				t.Errorf("vin=%v veh/h: queue at clear−0.1 = %v, want > 0 (clear=%v)", vinH, l, clear)
+			}
+		}
+		if l := m.QueueLenM(clear+1e-9, vin); l != 0 {
+			t.Errorf("vin=%v veh/h: queue just after clear = %v, want 0", vinH, l)
+		}
+	}
+}
+
+func TestQueueClearInAccelPhase(t *testing.T) {
+	// Tiny arrival rate: the queue should clear while the head is still
+	// accelerating (phase ii root).
+	m := mustModel(t)
+	vin := VehPerHour(5)
+	clear, ok := m.QueueClearTime(vin)
+	if !ok {
+		t.Fatal("should clear")
+	}
+	if clear <= m.Timing.RedSec || clear > m.T1() {
+		t.Fatalf("clear time %v should land in accel phase (%v, %v]", clear, m.Timing.RedSec, m.T1())
+	}
+}
+
+func TestQueueClearInCruisePhase(t *testing.T) {
+	// Heavier arrivals: clears after the head reaches v_min.
+	m := mustModel(t)
+	vin := VehPerHour(1500)
+	clear, ok := m.QueueClearTime(vin)
+	if !ok {
+		t.Fatalf("vin=1500 veh/h should still clear (d·vin=%v < vmin=%v)", m.SpacingM*vin, m.VMinMS)
+	}
+	if clear <= m.T1() {
+		t.Fatalf("clear time %v should be after T1 %v", clear, m.T1())
+	}
+}
+
+func TestZeroQueueWindow(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	w, ok := m.ZeroQueueWindow(vin)
+	if !ok {
+		t.Fatal("expected a zero-queue window")
+	}
+	clear, _ := m.QueueClearTime(vin)
+	if w.Start != clear || w.End != m.Timing.CycleSec() {
+		t.Fatalf("window = %+v, want [clear=%v, cycle=%v)", w, clear, m.Timing.CycleSec())
+	}
+	if !w.Contains(w.Start) || w.Contains(w.End) {
+		t.Fatal("window containment should be half-open")
+	}
+	if w.Duration() <= 0 {
+		t.Fatal("window should have positive duration")
+	}
+}
+
+func TestZeroWindowsAbsClipping(t *testing.T) {
+	m := mustModel(t)
+	vin := paperVin()
+	w, _ := m.ZeroQueueWindow(vin)
+	ws := m.ZeroWindowsAbs(vin, 0, 180) // three cycles
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows in 3 cycles, want 3: %+v", len(ws), ws)
+	}
+	for k, got := range ws {
+		wantStart := float64(k)*60 + w.Start
+		wantEnd := float64(k)*60 + w.End
+		if !almost(got.Start, wantStart, 1e-9) || !almost(got.End, wantEnd, 1e-9) {
+			t.Fatalf("window %d = %+v, want [%v, %v)", k, got, wantStart, wantEnd)
+		}
+	}
+	// Clipped query starting mid-window.
+	mid := w.Start + w.Duration()/2
+	ws = m.ZeroWindowsAbs(vin, mid, 60)
+	if len(ws) != 1 || !almost(ws[0].Start, mid, 1e-9) {
+		t.Fatalf("clipped windows = %+v, want start at %v", ws, mid)
+	}
+	if got := m.ZeroWindowsAbs(vin, 100, 100); got != nil {
+		t.Fatalf("empty range returned %+v", got)
+	}
+}
+
+func TestZeroWindowsAbsWithOffset(t *testing.T) {
+	p := US25Params()
+	m, err := NewModel(p, road.SignalTiming{RedSec: 30, GreenSec: 30, OffsetSec: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vin := paperVin()
+	w, _ := m.ZeroQueueWindow(vin)
+	ws := m.ZeroWindowsAbs(vin, 0, 200)
+	for _, got := range ws {
+		into := math.Mod(got.Start-17, 60)
+		if into < 0 {
+			into += 60
+		}
+		if !almost(into, w.Start, 1e-9) && !almost(got.Start, 0, 1e-9) {
+			t.Fatalf("window %+v not aligned to offset cycle (into=%v, want %v)", got, into, w.Start)
+		}
+	}
+}
+
+func TestGreenWindowsAbs(t *testing.T) {
+	m := mustModel(t)
+	ws := m.GreenWindowsAbs(0, 120)
+	if len(ws) != 2 {
+		t.Fatalf("got %d green windows in 2 cycles, want 2", len(ws))
+	}
+	if !almost(ws[0].Start, 30, 1e-9) || !almost(ws[0].End, 60, 1e-9) {
+		t.Fatalf("first green window = %+v, want [30, 60)", ws[0])
+	}
+	if got := m.GreenWindowsAbs(10, 5); got != nil {
+		t.Fatal("inverted range should return nil")
+	}
+}
+
+func TestZeroWindowSubsetOfGreen(t *testing.T) {
+	// T_q must always lie inside the green phase: that is the paper's whole
+	// point — the feasible arrival set shrinks from green to T_q.
+	m := mustModel(t)
+	vin := paperVin()
+	zs := m.ZeroWindowsAbs(vin, 0, 600)
+	gs := m.GreenWindowsAbs(0, 600)
+	for _, z := range zs {
+		inside := false
+		for _, g := range gs {
+			if z.Start >= g.Start && z.End <= g.End {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("zero window %+v not inside any green window %+v", z, gs)
+		}
+	}
+}
+
+// Property: the closed-form queue length is never negative and is zero
+// throughout the post-clear portion of the cycle.
+func TestPropQueueNonNegative(t *testing.T) {
+	m := mustModel(t)
+	f := func(tRaw, vinRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), m.Timing.CycleSec())
+		vin := VehPerHour(math.Mod(math.Abs(vinRaw), 2000))
+		return m.QueueLenM(tt, vin) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue clear time is monotone non-decreasing in arrival rate.
+func TestPropClearTimeMonotoneInVin(t *testing.T) {
+	m := mustModel(t)
+	f := func(aRaw, bRaw float64) bool {
+		a := VehPerHour(math.Mod(math.Abs(aRaw), 1000))
+		b := VehPerHour(math.Mod(math.Abs(bRaw), 1000))
+		if a > b {
+			a, b = b, a
+		}
+		ca, okA := m.QueueClearTime(a)
+		cb, okB := m.QueueClearTime(b)
+		if !okA && okB {
+			return false // lower rate fails to clear while higher clears
+		}
+		if !okA || !okB {
+			return true
+		}
+		return ca <= cb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueueClearTime(b *testing.B) {
+	m, _ := NewModel(US25Params(), testTiming())
+	vin := paperVin()
+	for i := 0; i < b.N; i++ {
+		m.QueueClearTime(vin)
+	}
+}

@@ -1,0 +1,290 @@
+// Package road describes the static route an EV drives: length, positions of
+// stop signs and signalized intersections, per-position speed limits and road
+// gradients. It is the shared geometry substrate for the DP optimizer
+// (internal/dp), the reference-driver generators (internal/profile) and the
+// microscopic traffic simulator (internal/sim).
+//
+// Positions are longitudinal offsets in metres from the route start.
+package road
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ControlKind enumerates the kinds of traffic control at a point.
+type ControlKind int
+
+// Control kinds. Enums start at one so the zero value is invalid and cannot
+// be mistaken for a real control.
+const (
+	ControlInvalid ControlKind = iota
+	// ControlStopSign forces velocity to zero at its position (Eq. 7c).
+	ControlStopSign
+	// ControlSignal is a fixed-cycle traffic light.
+	ControlSignal
+)
+
+// String implements fmt.Stringer.
+func (k ControlKind) String() string {
+	switch k {
+	case ControlStopSign:
+		return "stop-sign"
+	case ControlSignal:
+		return "signal"
+	default:
+		return fmt.Sprintf("ControlKind(%d)", int(k))
+	}
+}
+
+// SignalTiming is a fixed-duration signal cycle. A cycle starts at Offset
+// seconds (relative to simulation time zero) with the red phase: the paper's
+// Eq. (4) indexes the cycle as red on [0, t_red) then green on
+// [t_red, t_red+t_green).
+type SignalTiming struct {
+	// RedSec is the red-phase duration t_red in seconds.
+	RedSec float64
+	// GreenSec is the green-phase duration t_green in seconds.
+	GreenSec float64
+	// OffsetSec shifts the cycle start relative to t = 0.
+	OffsetSec float64
+}
+
+// CycleSec returns the full cycle duration t_red + t_green.
+func (s SignalTiming) CycleSec() float64 { return s.RedSec + s.GreenSec }
+
+// Validate reports whether the timing is usable.
+func (s SignalTiming) Validate() error {
+	if s.RedSec < 0 || s.GreenSec <= 0 {
+		return fmt.Errorf("road: signal timing red=%.1fs green=%.1fs invalid", s.RedSec, s.GreenSec)
+	}
+	return nil
+}
+
+// PhaseAt reports whether the signal is green at absolute time t (seconds)
+// and the time already elapsed within the current cycle.
+func (s SignalTiming) PhaseAt(t float64) (green bool, intoCycle float64) {
+	c := s.CycleSec()
+	intoCycle = math.Mod(t-s.OffsetSec, c)
+	if intoCycle < 0 {
+		intoCycle += c
+	}
+	return intoCycle >= s.RedSec, intoCycle
+}
+
+// CycleStartBefore returns the absolute start time of the cycle containing t.
+func (s SignalTiming) CycleStartBefore(t float64) float64 {
+	_, into := s.PhaseAt(t)
+	return t - into
+}
+
+// NextGreenWindow returns the absolute [start, end) of the first green phase
+// that ends after time t. If t is already inside a green phase, that phase
+// is returned.
+func (s SignalTiming) NextGreenWindow(t float64) (start, end float64) {
+	cs := s.CycleStartBefore(t)
+	start = cs + s.RedSec
+	end = cs + s.CycleSec()
+	if t >= end {
+		start += s.CycleSec()
+		end += s.CycleSec()
+	}
+	return start, end
+}
+
+// Control is a traffic control fixed at a route position.
+type Control struct {
+	// Kind is the control type; Timing is only meaningful for ControlSignal.
+	Kind ControlKind
+	// PositionM is the longitudinal offset from the route start in metres.
+	PositionM float64
+	// Timing is the signal cycle (signals only).
+	Timing SignalTiming
+	// Name labels the control in reports (e.g. "light-1").
+	Name string
+}
+
+// SpeedZone assigns a speed band to [StartM, EndM).
+type SpeedZone struct {
+	StartM, EndM float64
+	// MinMS and MaxMS are the legal minimum and maximum speeds in m/s
+	// (Eq. 7a bounds v_min(s), v_max(s)).
+	MinMS, MaxMS float64
+}
+
+// GradeZone assigns a road gradient (radians) to [StartM, EndM).
+type GradeZone struct {
+	StartM, EndM float64
+	ThetaRad     float64
+}
+
+// Route is an immutable description of a drive from position 0 to LengthM.
+// Construct with NewRoute; the constructor validates and sorts inputs.
+type Route struct {
+	lengthM  float64
+	controls []Control
+	speeds   []SpeedZone
+	grades   []GradeZone
+	// defaults applied where no zone matches
+	defMin, defMax float64
+}
+
+// RouteConfig collects the inputs for NewRoute.
+type RouteConfig struct {
+	// LengthM is the total route length in metres.
+	LengthM float64
+	// DefaultMinMS/DefaultMaxMS are speed bounds outside any SpeedZone.
+	DefaultMinMS, DefaultMaxMS float64
+	Controls                   []Control
+	SpeedZones                 []SpeedZone
+	GradeZones                 []GradeZone
+}
+
+// NewRoute validates cfg and builds a Route. Controls are sorted by
+// position; zones may not be empty-length or lie outside the route.
+func NewRoute(cfg RouteConfig) (*Route, error) {
+	if cfg.LengthM <= 0 {
+		return nil, fmt.Errorf("road: route length %.1f m must be positive", cfg.LengthM)
+	}
+	if cfg.DefaultMaxMS <= 0 {
+		return nil, fmt.Errorf("road: default max speed %.1f m/s must be positive", cfg.DefaultMaxMS)
+	}
+	if cfg.DefaultMinMS < 0 || cfg.DefaultMinMS > cfg.DefaultMaxMS {
+		return nil, fmt.Errorf("road: default min speed %.1f m/s outside [0, %.1f]", cfg.DefaultMinMS, cfg.DefaultMaxMS)
+	}
+	r := &Route{
+		lengthM: cfg.LengthM,
+		defMin:  cfg.DefaultMinMS,
+		defMax:  cfg.DefaultMaxMS,
+	}
+	r.controls = append(r.controls, cfg.Controls...)
+	for i, c := range r.controls {
+		if c.Kind != ControlStopSign && c.Kind != ControlSignal {
+			return nil, fmt.Errorf("road: control %d (%q) has invalid kind %v", i, c.Name, c.Kind)
+		}
+		if c.PositionM <= 0 || c.PositionM >= cfg.LengthM {
+			return nil, fmt.Errorf("road: control %q at %.1f m outside (0, %.1f)", c.Name, c.PositionM, cfg.LengthM)
+		}
+		if c.Kind == ControlSignal {
+			if err := c.Timing.Validate(); err != nil {
+				return nil, fmt.Errorf("road: control %q: %w", c.Name, err)
+			}
+		}
+	}
+	sort.Slice(r.controls, func(i, j int) bool { return r.controls[i].PositionM < r.controls[j].PositionM })
+	for i := 1; i < len(r.controls); i++ {
+		if r.controls[i].PositionM == r.controls[i-1].PositionM {
+			return nil, fmt.Errorf("road: controls %q and %q share position %.1f m",
+				r.controls[i-1].Name, r.controls[i].Name, r.controls[i].PositionM)
+		}
+	}
+	for _, z := range cfg.SpeedZones {
+		if z.StartM >= z.EndM || z.StartM < 0 || z.EndM > cfg.LengthM {
+			return nil, fmt.Errorf("road: speed zone [%.1f, %.1f) invalid for route of %.1f m", z.StartM, z.EndM, cfg.LengthM)
+		}
+		if z.MaxMS <= 0 || z.MinMS < 0 || z.MinMS > z.MaxMS {
+			return nil, fmt.Errorf("road: speed zone [%.1f, %.1f) bounds [%.1f, %.1f] invalid", z.StartM, z.EndM, z.MinMS, z.MaxMS)
+		}
+		r.speeds = append(r.speeds, z)
+	}
+	for _, z := range cfg.GradeZones {
+		if z.StartM >= z.EndM || z.StartM < 0 || z.EndM > cfg.LengthM {
+			return nil, fmt.Errorf("road: grade zone [%.1f, %.1f) invalid for route of %.1f m", z.StartM, z.EndM, cfg.LengthM)
+		}
+		r.grades = append(r.grades, z)
+	}
+	sort.Slice(r.speeds, func(i, j int) bool { return r.speeds[i].StartM < r.speeds[j].StartM })
+	sort.Slice(r.grades, func(i, j int) bool { return r.grades[i].StartM < r.grades[j].StartM })
+	return r, nil
+}
+
+// LengthM returns the total route length in metres.
+func (r *Route) LengthM() float64 { return r.lengthM }
+
+// Controls returns the controls ordered by position. The returned slice is a
+// copy; callers may modify it freely.
+func (r *Route) Controls() []Control {
+	out := make([]Control, len(r.controls))
+	copy(out, r.controls)
+	return out
+}
+
+// Signals returns only the signalized controls, ordered by position.
+func (r *Route) Signals() []Control {
+	var out []Control
+	for _, c := range r.controls {
+		if c.Kind == ControlSignal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StopSigns returns only the stop-sign controls, ordered by position.
+func (r *Route) StopSigns() []Control {
+	var out []Control
+	for _, c := range r.controls {
+		if c.Kind == ControlStopSign {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SpeedLimits returns the (min, max) legal speeds in m/s at position pos.
+// Later-starting zones win when zones overlap.
+func (r *Route) SpeedLimits(pos float64) (minMS, maxMS float64) {
+	minMS, maxMS = r.defMin, r.defMax
+	for _, z := range r.speeds {
+		if pos >= z.StartM && pos < z.EndM {
+			minMS, maxMS = z.MinMS, z.MaxMS
+		}
+		if z.StartM > pos {
+			break
+		}
+	}
+	return minMS, maxMS
+}
+
+// GradeAt returns the road gradient in radians at position pos (0 where no
+// zone matches).
+func (r *Route) GradeAt(pos float64) float64 {
+	theta := 0.0
+	for _, z := range r.grades {
+		if pos >= z.StartM && pos < z.EndM {
+			theta = z.ThetaRad
+		}
+		if z.StartM > pos {
+			break
+		}
+	}
+	return theta
+}
+
+// ControlAt returns the control whose position lies in [from, to), if any.
+// Used by samplers stepping through the route.
+func (r *Route) ControlAt(from, to float64) (Control, bool) {
+	for _, c := range r.controls {
+		if c.PositionM >= from && c.PositionM < to {
+			return c, true
+		}
+	}
+	return Control{}, false
+}
+
+// NextControl returns the first control strictly after position pos.
+func (r *Route) NextControl(pos float64) (Control, bool) {
+	for _, c := range r.controls {
+		if c.PositionM > pos {
+			return c, true
+		}
+	}
+	return Control{}, false
+}
+
+// KmhToMs converts km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// MsToKmh converts m/s to km/h.
+func MsToKmh(ms float64) float64 { return ms * 3.6 }

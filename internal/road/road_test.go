@@ -1,0 +1,296 @@
+package road
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustRoute(t *testing.T, cfg RouteConfig) *Route {
+	t.Helper()
+	r, err := NewRoute(cfg)
+	if err != nil {
+		t.Fatalf("NewRoute: %v", err)
+	}
+	return r
+}
+
+func TestSignalTimingPhaseAt(t *testing.T) {
+	s := SignalTiming{RedSec: 30, GreenSec: 30}
+	cases := []struct {
+		t     float64
+		green bool
+	}{
+		{0, false}, {29.99, false}, {30, true}, {59.99, true},
+		{60, false}, {90, true}, {119.9, true}, {120, false},
+	}
+	for _, tc := range cases {
+		if green, _ := s.PhaseAt(tc.t); green != tc.green {
+			t.Errorf("PhaseAt(%.2f) green = %v, want %v", tc.t, green, tc.green)
+		}
+	}
+}
+
+func TestSignalTimingPhaseAtNegativeTime(t *testing.T) {
+	s := SignalTiming{RedSec: 30, GreenSec: 30}
+	// t = -10 is 50 s into the previous cycle: green.
+	if green, into := s.PhaseAt(-10); !green || !almost(into, 50, 1e-9) {
+		t.Fatalf("PhaseAt(-10) = (%v, %.2f), want (true, 50)", green, into)
+	}
+}
+
+func TestSignalTimingOffset(t *testing.T) {
+	s := SignalTiming{RedSec: 20, GreenSec: 40, OffsetSec: 10}
+	if green, _ := s.PhaseAt(10); green {
+		t.Fatal("cycle start should be red")
+	}
+	if green, _ := s.PhaseAt(30); !green {
+		t.Fatal("10+20=30 should be green")
+	}
+}
+
+func TestNextGreenWindow(t *testing.T) {
+	s := SignalTiming{RedSec: 30, GreenSec: 30}
+	cases := []struct {
+		t, start, end float64
+	}{
+		{0, 30, 60},   // during red -> this cycle's green
+		{45, 30, 60},  // inside green -> same window
+		{60, 90, 120}, // exactly at green end -> next cycle
+		{75, 90, 120},
+	}
+	for _, tc := range cases {
+		start, end := s.NextGreenWindow(tc.t)
+		if !almost(start, tc.start, 1e-9) || !almost(end, tc.end, 1e-9) {
+			t.Errorf("NextGreenWindow(%.1f) = [%.1f, %.1f), want [%.1f, %.1f)", tc.t, start, end, tc.start, tc.end)
+		}
+	}
+}
+
+func TestSignalTimingValidate(t *testing.T) {
+	if err := (SignalTiming{RedSec: -1, GreenSec: 30}).Validate(); err == nil {
+		t.Fatal("negative red accepted")
+	}
+	if err := (SignalTiming{RedSec: 10, GreenSec: 0}).Validate(); err == nil {
+		t.Fatal("zero green accepted")
+	}
+	if err := (SignalTiming{RedSec: 0, GreenSec: 30}).Validate(); err != nil {
+		t.Fatalf("always-green timing rejected: %v", err)
+	}
+}
+
+func TestNewRouteRejectsBadConfig(t *testing.T) {
+	good := RouteConfig{LengthM: 1000, DefaultMaxMS: 20}
+	cases := []struct {
+		name   string
+		mutate func(*RouteConfig)
+		want   string
+	}{
+		{"zero length", func(c *RouteConfig) { c.LengthM = 0 }, "length"},
+		{"zero max speed", func(c *RouteConfig) { c.DefaultMaxMS = 0 }, "max speed"},
+		{"min above max", func(c *RouteConfig) { c.DefaultMinMS = 30 }, "min speed"},
+		{"invalid control kind", func(c *RouteConfig) {
+			c.Controls = []Control{{Kind: ControlInvalid, PositionM: 100}}
+		}, "invalid kind"},
+		{"control outside route", func(c *RouteConfig) {
+			c.Controls = []Control{{Kind: ControlStopSign, PositionM: 1000}}
+		}, "outside"},
+		{"control at zero", func(c *RouteConfig) {
+			c.Controls = []Control{{Kind: ControlStopSign, PositionM: 0}}
+		}, "outside"},
+		{"bad signal timing", func(c *RouteConfig) {
+			c.Controls = []Control{{Kind: ControlSignal, PositionM: 100, Timing: SignalTiming{GreenSec: 0}}}
+		}, "timing"},
+		{"duplicate control position", func(c *RouteConfig) {
+			c.Controls = []Control{
+				{Kind: ControlStopSign, PositionM: 100, Name: "a"},
+				{Kind: ControlStopSign, PositionM: 100, Name: "b"},
+			}
+		}, "share position"},
+		{"inverted speed zone", func(c *RouteConfig) {
+			c.SpeedZones = []SpeedZone{{StartM: 200, EndM: 100, MaxMS: 10}}
+		}, "speed zone"},
+		{"speed zone bad bounds", func(c *RouteConfig) {
+			c.SpeedZones = []SpeedZone{{StartM: 0, EndM: 100, MinMS: 20, MaxMS: 10}}
+		}, "bounds"},
+		{"grade zone outside", func(c *RouteConfig) {
+			c.GradeZones = []GradeZone{{StartM: 900, EndM: 1100}}
+		}, "grade zone"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			_, err := NewRoute(cfg)
+			if err == nil {
+				t.Fatalf("NewRoute accepted %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestControlsSortedAndCopied(t *testing.T) {
+	r := mustRoute(t, RouteConfig{
+		LengthM: 1000, DefaultMaxMS: 20,
+		Controls: []Control{
+			{Kind: ControlStopSign, PositionM: 700, Name: "b"},
+			{Kind: ControlStopSign, PositionM: 300, Name: "a"},
+		},
+	})
+	cs := r.Controls()
+	if cs[0].Name != "a" || cs[1].Name != "b" {
+		t.Fatalf("controls not sorted: %+v", cs)
+	}
+	cs[0].Name = "mutated"
+	if r.Controls()[0].Name != "a" {
+		t.Fatal("Controls() exposed internal slice")
+	}
+}
+
+func TestSignalsAndStopSignsFilter(t *testing.T) {
+	r := US25()
+	if got := len(r.Signals()); got != 2 {
+		t.Fatalf("Signals() = %d, want 2", got)
+	}
+	if got := len(r.StopSigns()); got != 1 {
+		t.Fatalf("StopSigns() = %d, want 1", got)
+	}
+	if r.StopSigns()[0].PositionM != 490 {
+		t.Fatalf("stop sign at %.1f, want 490", r.StopSigns()[0].PositionM)
+	}
+}
+
+func TestSpeedLimitsZones(t *testing.T) {
+	r := mustRoute(t, RouteConfig{
+		LengthM: 1000, DefaultMinMS: 5, DefaultMaxMS: 25,
+		SpeedZones: []SpeedZone{
+			{StartM: 100, EndM: 300, MinMS: 0, MaxMS: 15},
+			{StartM: 250, EndM: 400, MinMS: 2, MaxMS: 10}, // overlaps; later start wins
+		},
+	})
+	check := func(pos, wantMin, wantMax float64) {
+		t.Helper()
+		gotMin, gotMax := r.SpeedLimits(pos)
+		if gotMin != wantMin || gotMax != wantMax {
+			t.Fatalf("SpeedLimits(%.0f) = (%v, %v), want (%v, %v)", pos, gotMin, gotMax, wantMin, wantMax)
+		}
+	}
+	check(50, 5, 25)  // default
+	check(100, 0, 15) // first zone inclusive start
+	check(260, 2, 10) // overlap: later zone wins
+	check(350, 2, 10) // second zone only
+	check(400, 5, 25) // exclusive end
+	check(999, 5, 25) // default tail
+}
+
+func TestGradeAt(t *testing.T) {
+	r := mustRoute(t, RouteConfig{
+		LengthM: 1000, DefaultMaxMS: 20,
+		GradeZones: []GradeZone{{StartM: 200, EndM: 500, ThetaRad: 0.03}},
+	})
+	if g := r.GradeAt(100); g != 0 {
+		t.Fatalf("GradeAt(100) = %v, want 0", g)
+	}
+	if g := r.GradeAt(300); g != 0.03 {
+		t.Fatalf("GradeAt(300) = %v, want 0.03", g)
+	}
+	if g := r.GradeAt(500); g != 0 {
+		t.Fatalf("GradeAt(500) = %v, want 0 (exclusive end)", g)
+	}
+}
+
+func TestControlAtAndNextControl(t *testing.T) {
+	r := US25()
+	c, ok := r.ControlAt(400, 600)
+	if !ok || c.Name != "stop-490m" {
+		t.Fatalf("ControlAt(400,600) = (%+v, %v), want stop sign", c, ok)
+	}
+	if _, ok := r.ControlAt(500, 1000); ok {
+		t.Fatal("ControlAt(500,1000) found unexpected control")
+	}
+	n, ok := r.NextControl(490)
+	if !ok || n.Name != "light-1" {
+		t.Fatalf("NextControl(490) = (%+v, %v), want light-1", n, ok)
+	}
+	if _, ok := r.NextControl(3460); ok {
+		t.Fatal("NextControl past last control should report none")
+	}
+}
+
+func TestUS25Geometry(t *testing.T) {
+	r := US25()
+	if r.LengthM() != 4200 {
+		t.Fatalf("LengthM = %v, want 4200", r.LengthM())
+	}
+	sigs := r.Signals()
+	if sigs[0].PositionM != 1800 || sigs[1].PositionM != 3460 {
+		t.Fatalf("signal positions = %v, %v; want 1800, 3460", sigs[0].PositionM, sigs[1].PositionM)
+	}
+	for _, s := range sigs {
+		if s.Timing.RedSec != 30 || s.Timing.GreenSec != 30 {
+			t.Fatalf("signal %q timing = %+v, want 30/30", s.Name, s.Timing)
+		}
+	}
+	_, maxMS := r.SpeedLimits(1000)
+	if !almost(MsToKmh(maxMS), 60, 1e-9) {
+		t.Fatalf("US25 max speed = %.1f km/h, want 60", MsToKmh(maxMS))
+	}
+}
+
+func TestUnitConversionsRoundTrip(t *testing.T) {
+	f := func(kmh float64) bool {
+		kmh = math.Mod(math.Abs(kmh), 200)
+		return almost(MsToKmh(KmhToMs(kmh)), kmh, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PhaseAt is periodic with the cycle length.
+func TestPropPhasePeriodic(t *testing.T) {
+	s := SignalTiming{RedSec: 17, GreenSec: 43, OffsetSec: 5}
+	f := func(tm float64, k uint8) bool {
+		tm = math.Mod(math.Abs(tm), 1e6)
+		g1, into1 := s.PhaseAt(tm)
+		g2, into2 := s.PhaseAt(tm + float64(k)*s.CycleSec())
+		return g1 == g2 && almost(into1, into2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextGreenWindow always returns a window containing or after t,
+// whose span is exactly GreenSec, and which is green throughout.
+func TestPropNextGreenWindowSane(t *testing.T) {
+	s := SignalTiming{RedSec: 25, GreenSec: 35}
+	f := func(tm float64) bool {
+		tm = math.Mod(math.Abs(tm), 1e5)
+		start, end := s.NextGreenWindow(tm)
+		if end <= tm || !almost(end-start, s.GreenSec, 1e-6) {
+			return false
+		}
+		mid := (math.Max(start, tm) + end) / 2
+		green, _ := s.PhaseAt(mid)
+		return green
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlKindString(t *testing.T) {
+	if ControlStopSign.String() != "stop-sign" || ControlSignal.String() != "signal" {
+		t.Fatal("unexpected ControlKind strings")
+	}
+	if !strings.Contains(ControlInvalid.String(), "0") {
+		t.Fatalf("invalid kind string = %q", ControlInvalid.String())
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,40 @@
+package road
+
+// US25 returns the experimental road segment from the paper's evaluation
+// (Section III-A): a 4.2 km stretch of the US-25 highway at Greenville, SC
+// with one stop sign at 490 m and two fixed-cycle traffic lights at 1800 m
+// and 3460 m from the start. Both signals run 30 s red / 30 s green, the
+// cycle observed at the second light in Section III-B-2.
+//
+// Speed band: the paper's Fig. 6 plots a speed limit around 60 km/h with a
+// lower bound near 40 km/h; we use min 40 km/h, max 60 km/h along the route,
+// relaxed to min 0 near the endpoints and controls where the vehicle must be
+// able to stop.
+func US25() *Route {
+	const (
+		lengthM  = 4200.0
+		stopPosM = 490.0
+		sig1PosM = 1800.0
+		sig2PosM = 3460.0
+	)
+	timing := SignalTiming{RedSec: 30, GreenSec: 30}
+	r, err := NewRoute(RouteConfig{
+		LengthM:      lengthM,
+		DefaultMinMS: KmhToMs(US25MinSpeedKmh),
+		DefaultMaxMS: KmhToMs(60),
+		Controls: []Control{
+			{Kind: ControlStopSign, PositionM: stopPosM, Name: "stop-490m"},
+			{Kind: ControlSignal, PositionM: sig1PosM, Timing: timing, Name: "light-1"},
+			{Kind: ControlSignal, PositionM: sig2PosM, Timing: timing, Name: "light-2"},
+		},
+	})
+	if err != nil {
+		// US25 is built from constants; a failure is a programming error.
+		panic("road: US25 construction failed: " + err.Error())
+	}
+	return r
+}
+
+// US25MinSpeedKmh is the minimum speed limit v_min used by the paper for the
+// vehicle-movement (VM) model on the US-25 segment, in km/h.
+const US25MinSpeedKmh = 40.0

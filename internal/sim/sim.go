@@ -1,0 +1,552 @@
+// Package sim is a microscopic traffic simulator substituting for SUMO in
+// the paper's evaluation (DESIGN.md §4): a single-lane corridor described
+// by a road.Route, Krauss car-following (the model family SUMO itself
+// uses), fixed-cycle traffic signals enforced as stop-line obstacles,
+// stop signs with mandatory dwell, Bernoulli-thinned Poisson background
+// arrivals with a straight/turn split γ at signalized intersections, and
+// externally speed-controlled vehicles whose commands are overridden by
+// the safety layer exactly like TraCI's setSpeed.
+//
+// All randomness comes from one seeded source; a Simulation is fully
+// deterministic given its Config.
+//
+// A Simulation is not safe for concurrent use; the trasi server serializes
+// access.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"evvo/internal/profile"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// VehicleParams describes car-following behaviour.
+type VehicleParams struct {
+	// LengthM is the vehicle length (default 4.5).
+	LengthM float64
+	// AccelMS2 and DecelMS2 are the maximum acceleration and comfortable
+	// deceleration magnitudes (defaults 2.5 and 3.0; the Krauss b).
+	AccelMS2, DecelMS2 float64
+	// SigmaDawdle is the Krauss driver-imperfection σ in [0, 1)
+	// (default 0.3); controlled vehicles never dawdle.
+	SigmaDawdle float64
+	// MinGapM is the standstill gap kept behind a leader (default 2.0).
+	MinGapM float64
+	// StopWaitSec is the mandatory dwell at stop signs (default 1.5).
+	StopWaitSec float64
+}
+
+// DefaultVehicleParams returns SUMO-like passenger-car defaults.
+func DefaultVehicleParams() VehicleParams {
+	return VehicleParams{
+		LengthM:     4.5,
+		AccelMS2:    2.5,
+		DecelMS2:    3.0,
+		SigmaDawdle: 0.3,
+		MinGapM:     2.0,
+		StopWaitSec: 1.5,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p VehicleParams) Validate() error {
+	switch {
+	case p.LengthM <= 0:
+		return fmt.Errorf("sim: vehicle length %.2f must be positive", p.LengthM)
+	case p.AccelMS2 <= 0 || p.DecelMS2 <= 0:
+		return fmt.Errorf("sim: accel/decel %.2f/%.2f must be positive", p.AccelMS2, p.DecelMS2)
+	case p.SigmaDawdle < 0 || p.SigmaDawdle >= 1:
+		return fmt.Errorf("sim: sigma %.2f must be in [0, 1)", p.SigmaDawdle)
+	case p.MinGapM < 0:
+		return fmt.Errorf("sim: min gap %.2f must be non-negative", p.MinGapM)
+	case p.StopWaitSec < 0:
+		return fmt.Errorf("sim: stop wait %.2f must be non-negative", p.StopWaitSec)
+	}
+	return nil
+}
+
+// Config parameterizes a Simulation.
+type Config struct {
+	// Route is the corridor geometry (required).
+	Route *road.Route
+	// StepSec is the simulation tick (default 0.5).
+	StepSec float64
+	// Seed drives arrivals, turn decisions and dawdling.
+	Seed int64
+	// Arrivals is the background-traffic entry rate in veh/s at position 0
+	// as a function of absolute time; nil means no background traffic.
+	Arrivals queue.RateFunc
+	// StraightRatio is γ: the probability a background vehicle continues
+	// straight at each signalized intersection (default 1; turners leave
+	// the corridor at the intersection).
+	StraightRatio float64
+	// Vehicle sets car-following behaviour (defaults applied per field
+	// only when the whole struct is zero).
+	Vehicle VehicleParams
+	// StartTime is the absolute simulation start time (default 0), so
+	// signal phases align with optimizer departure times.
+	StartTime float64
+	// SpeedFactorStd adds driver heterogeneity: each background vehicle's
+	// cruise speed is the local limit scaled by a factor drawn from
+	// N(1, SpeedFactorStd), clamped to [0.7, 1.3]. Zero (default) makes
+	// all background drivers identical. Controlled vehicles are never
+	// scaled.
+	SpeedFactorStd float64
+}
+
+// State is a vehicle observation.
+type State struct {
+	ID string
+	// PosM is the front-bumper position along the corridor.
+	PosM float64
+	// SpeedMS is the current speed.
+	SpeedMS float64
+	// Done reports the vehicle has left the corridor (finished or turned).
+	Done bool
+}
+
+// Trip records a completed traversal.
+type Trip struct {
+	ID                string
+	EnterSec, ExitSec float64
+	// Turned is true when the vehicle left at an intersection rather than
+	// reaching the corridor end.
+	Turned bool
+}
+
+type vehicle struct {
+	id         string
+	pos, speed float64
+	// speedFactor scales the legal limit for this driver (1 for
+	// controlled vehicles).
+	speedFactor float64
+	controlled  bool
+	command     float64 // target speed for controlled vehicles
+	nextStop    int     // index into stop signs not yet satisfied
+	stopTimer   float64 // time spent standing at the current stop sign
+	nextSignal  int     // index into signals not yet crossed
+	enterTime   float64
+	done        bool
+	// trace holds the trajectory of controlled vehicles.
+	trace []profile.Point
+}
+
+// Simulation is a running corridor simulation.
+type Simulation struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     float64
+	signals []road.Control
+	stops   []road.Control
+	// vehicles ordered front (largest pos) to back.
+	vehicles []*vehicle
+	byID     map[string]*vehicle
+	trips    []Trip
+	// crossings counts stop-line crossings per signal index.
+	crossings []int
+	backlog   int // spawns deferred for lack of space
+	seq       int
+}
+
+// New validates the configuration and builds a Simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Route == nil {
+		return nil, fmt.Errorf("sim: config needs a route")
+	}
+	if cfg.StepSec == 0 {
+		cfg.StepSec = 0.5
+	}
+	if cfg.StepSec <= 0 {
+		return nil, fmt.Errorf("sim: step %.3f s must be positive", cfg.StepSec)
+	}
+	if cfg.StraightRatio == 0 {
+		cfg.StraightRatio = 1
+	}
+	if cfg.StraightRatio < 0 || cfg.StraightRatio > 1 {
+		return nil, fmt.Errorf("sim: straight ratio %.3f must be in (0, 1]", cfg.StraightRatio)
+	}
+	if (cfg.Vehicle == VehicleParams{}) {
+		cfg.Vehicle = DefaultVehicleParams()
+	}
+	if err := cfg.Vehicle.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SpeedFactorStd < 0 || cfg.SpeedFactorStd > 0.5 {
+		return nil, fmt.Errorf("sim: speed factor std %.2f must be in [0, 0.5]", cfg.SpeedFactorStd)
+	}
+	sim := &Simulation{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		now:     cfg.StartTime,
+		signals: cfg.Route.Signals(),
+		stops:   cfg.Route.StopSigns(),
+		byID:    make(map[string]*vehicle),
+	}
+	sim.crossings = make([]int, len(sim.signals))
+	return sim, nil
+}
+
+// Time returns the current absolute simulation time.
+func (s *Simulation) Time() float64 { return s.now }
+
+// StepSec returns the simulation tick length.
+func (s *Simulation) StepSec() float64 { return s.cfg.StepSec }
+
+// VehicleCount returns the number of vehicles currently on the corridor.
+func (s *Simulation) VehicleCount() int { return len(s.vehicles) }
+
+// Trips returns completed trips so far (copy).
+func (s *Simulation) Trips() []Trip {
+	out := make([]Trip, len(s.trips))
+	copy(out, s.trips)
+	return out
+}
+
+// AddControlled inserts an externally controlled vehicle at the corridor
+// start, initially at rest with a zero speed command. The id must be unique
+// and the entry area clear.
+func (s *Simulation) AddControlled(id string) error {
+	if _, ok := s.byID[id]; ok {
+		return fmt.Errorf("sim: vehicle %q already exists", id)
+	}
+	if !s.entryClear() {
+		return fmt.Errorf("sim: entry area occupied at t=%.1f", s.now)
+	}
+	v := &vehicle{id: id, controlled: true, speedFactor: 1, enterTime: s.now}
+	v.trace = append(v.trace, profile.Point{T: s.now, Pos: 0, V: 0})
+	s.insert(v)
+	return nil
+}
+
+// SetSpeed commands a controlled vehicle's target speed (m/s). The safety
+// layer (leaders, red lights, stop signs, speed limits) may reduce the
+// realised speed, mirroring TraCI setSpeed semantics.
+func (s *Simulation) SetSpeed(id string, speed float64) error {
+	v, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("sim: unknown vehicle %q", id)
+	}
+	if !v.controlled {
+		return fmt.Errorf("sim: vehicle %q is not externally controlled", id)
+	}
+	if speed < 0 || math.IsNaN(speed) {
+		return fmt.Errorf("sim: invalid speed command %v", speed)
+	}
+	v.command = speed
+	return nil
+}
+
+// VehicleState returns the observation for id. Finished vehicles remain
+// queryable with Done = true.
+func (s *Simulation) VehicleState(id string) (State, error) {
+	v, ok := s.byID[id]
+	if !ok {
+		return State{}, fmt.Errorf("sim: unknown vehicle %q", id)
+	}
+	return State{ID: v.id, PosM: v.pos, SpeedMS: v.speed, Done: v.done}, nil
+}
+
+// Trace returns the recorded trajectory of a controlled vehicle.
+func (s *Simulation) Trace(id string) (*profile.Profile, error) {
+	v, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown vehicle %q", id)
+	}
+	if !v.controlled {
+		return nil, fmt.Errorf("sim: vehicle %q has no trace (not controlled)", id)
+	}
+	return profile.New(v.trace)
+}
+
+// SignalGreen reports the phase of a named signal at the current time.
+func (s *Simulation) SignalGreen(name string) (bool, error) {
+	for _, c := range s.signals {
+		if c.Name == name {
+			green, _ := c.Timing.PhaseAt(s.now)
+			return green, nil
+		}
+	}
+	return false, fmt.Errorf("sim: unknown signal %q", name)
+}
+
+// QueueAt returns the standing-queue length (vehicles) at a named signal:
+// the contiguous chain of near-stopped vehicles ending at the stop line.
+func (s *Simulation) QueueAt(name string) (int, error) {
+	var line float64
+	found := false
+	for _, c := range s.signals {
+		if c.Name == name {
+			line, found = c.PositionM, true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("sim: unknown signal %q", name)
+	}
+	const (
+		stoppedBelow = 2.0 // m/s: crawling in a discharge wave still queues
+		chainGap     = 12.0
+	)
+	count := 0
+	expect := line
+	for _, v := range s.vehicles { // front to back
+		if v.pos > line || v.done {
+			continue
+		}
+		if expect-v.pos > chainGap+s.cfg.Vehicle.LengthM {
+			break // chain broken: the rest is free-flowing traffic
+		}
+		if v.speed <= stoppedBelow {
+			count++
+			expect = v.pos
+		} else {
+			break
+		}
+	}
+	return count, nil
+}
+
+// Backlog returns spawns deferred because the entry was blocked — upstream
+// demand that has not fit on the corridor yet.
+func (s *Simulation) Backlog() int { return s.backlog }
+
+// Crossings returns how many vehicles have crossed a named signal's stop
+// line since the start — with QueueAt, enough to measure saturation flow.
+func (s *Simulation) Crossings(name string) (int, error) {
+	for i, c := range s.signals {
+		if c.Name == name {
+			return s.crossings[i], nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown signal %q", name)
+}
+
+// entryClear reports whether a new vehicle fits at position 0.
+func (s *Simulation) entryClear() bool {
+	need := s.cfg.Vehicle.LengthM + s.cfg.Vehicle.MinGapM + 1
+	for _, v := range s.vehicles {
+		if !v.done && v.pos < need {
+			return false
+		}
+	}
+	return true
+}
+
+// insert adds a vehicle keeping front-to-back order (new vehicles enter at
+// the back).
+func (s *Simulation) insert(v *vehicle) {
+	s.vehicles = append(s.vehicles, v)
+	s.byID[v.id] = v
+	// Entry is always at pos 0 (the back); re-sort defensively anyway.
+	sort.SliceStable(s.vehicles, func(i, j int) bool { return s.vehicles[i].pos > s.vehicles[j].pos })
+}
+
+// RunUntil advances the simulation until Time() >= t.
+func (s *Simulation) RunUntil(t float64) {
+	for s.now < t {
+		s.Step()
+	}
+}
+
+// Step advances the simulation by one tick.
+func (s *Simulation) Step() {
+	dt := s.cfg.StepSec
+	s.spawn()
+
+	// Plan new speeds front-to-back against current state.
+	newSpeeds := make([]float64, len(s.vehicles))
+	for i, v := range s.vehicles {
+		if v.done {
+			continue
+		}
+		newSpeeds[i] = s.planSpeed(i, v)
+	}
+	// Apply movement.
+	for i, v := range s.vehicles {
+		if v.done {
+			continue
+		}
+		s.move(v, newSpeeds[i])
+	}
+	s.compact()
+	s.now += dt
+}
+
+// planSpeed computes the next-tick speed for vehicle index i.
+func (s *Simulation) planSpeed(i int, v *vehicle) float64 {
+	p := s.cfg.Vehicle
+	dt := s.cfg.StepSec
+	_, limit := s.cfg.Route.SpeedLimits(math.Min(v.pos, s.cfg.Route.LengthM()-1e-9))
+	limit *= v.speedFactor
+
+	vMax := math.Min(limit, v.speed+p.AccelMS2*dt)
+	// Leader constraint.
+	if lead := s.leader(i); lead != nil {
+		gap := lead.pos - p.LengthM - p.MinGapM - v.pos
+		vMax = math.Min(vMax, s.krauss(gap, lead.speed))
+	}
+	// Red-signal constraint: the next uncrossed signal is a standing
+	// obstacle while red. Vehicles hold stopLineBufferM short of the line
+	// so asymptotic creep can never register as a crossing.
+	if v.nextSignal < len(s.signals) {
+		sig := s.signals[v.nextSignal]
+		if green, _ := sig.Timing.PhaseAt(s.now); !green {
+			gap := sig.PositionM - stopLineBufferM - v.pos
+			vMax = math.Min(vMax, s.krauss(gap, 0))
+		}
+	}
+	// Stop-sign constraint: an obstacle until the mandatory dwell is done.
+	if v.nextStop < len(s.stops) {
+		stop := s.stops[v.nextStop]
+		gap := stop.PositionM - stopLineBufferM - v.pos
+		if gap <= 1.0 && v.speed < 0.1 {
+			v.stopTimer += dt
+			if v.stopTimer >= p.StopWaitSec {
+				v.nextStop++ // dwell satisfied; proceed
+			} else {
+				return 0
+			}
+		} else if v.nextStop < len(s.stops) {
+			vMax = math.Min(vMax, s.krauss(gap, 0))
+		}
+	}
+	if v.controlled {
+		vMax = math.Min(vMax, v.command)
+	} else if p.SigmaDawdle > 0 {
+		vMax -= p.SigmaDawdle * p.AccelMS2 * dt * s.rng.Float64()
+	}
+	if vMax < 0 {
+		vMax = 0
+	}
+	return vMax
+}
+
+// stopLineBufferM is how far short of a stop line vehicles hold.
+const stopLineBufferM = 1.0
+
+// krauss returns the Krauss safe speed for a gap to a leader moving at
+// leaderSpeed: v_safe = −bτ + sqrt(b²τ² + v_l² + 2b·gap).
+func (s *Simulation) krauss(gap, leaderSpeed float64) float64 {
+	if gap <= 0 {
+		return 0
+	}
+	b := s.cfg.Vehicle.DecelMS2
+	tau := s.cfg.StepSec
+	return -b*tau + math.Sqrt(b*b*tau*tau+leaderSpeed*leaderSpeed+2*b*gap)
+}
+
+// leader returns the nearest active vehicle ahead of index i, or nil.
+func (s *Simulation) leader(i int) *vehicle {
+	for j := i - 1; j >= 0; j-- {
+		if !s.vehicles[j].done {
+			return s.vehicles[j]
+		}
+	}
+	return nil
+}
+
+// move advances a vehicle at its planned speed, handling stop-sign
+// overshoot, signal crossings (turn decisions) and corridor exit.
+func (s *Simulation) move(v *vehicle, speed float64) {
+	dt := s.cfg.StepSec
+	newPos := v.pos + speed*dt
+
+	// Never roll past an unsatisfied stop sign.
+	if v.nextStop < len(s.stops) {
+		line := s.stops[v.nextStop].PositionM
+		if newPos > line {
+			newPos = line
+			speed = 0
+		}
+	}
+	// Signal crossings: turners leave the corridor.
+	for v.nextSignal < len(s.signals) {
+		line := s.signals[v.nextSignal].PositionM
+		if newPos < line {
+			break
+		}
+		s.crossings[v.nextSignal]++
+		v.nextSignal++
+		if !v.controlled && s.rng.Float64() > s.cfg.StraightRatio {
+			v.pos = line
+			v.speed = speed
+			s.finish(v, true)
+			return
+		}
+	}
+	v.pos = newPos
+	v.speed = speed
+	if v.controlled {
+		v.trace = append(v.trace, profile.Point{T: s.now + dt, Pos: v.pos, V: v.speed})
+	}
+	if v.pos >= s.cfg.Route.LengthM() {
+		s.finish(v, false)
+	}
+}
+
+// finish retires a vehicle and records its trip.
+func (s *Simulation) finish(v *vehicle, turned bool) {
+	v.done = true
+	s.trips = append(s.trips, Trip{ID: v.id, EnterSec: v.enterTime, ExitSec: s.now + s.cfg.StepSec, Turned: turned})
+}
+
+// compact removes finished vehicles from the ordering (they stay in byID
+// for state queries).
+func (s *Simulation) compact() {
+	active := s.vehicles[:0]
+	for _, v := range s.vehicles {
+		if !v.done {
+			active = append(active, v)
+		}
+	}
+	s.vehicles = active
+}
+
+// spawn admits background traffic: Bernoulli approximation of Poisson
+// arrivals at the configured rate, deferred while the entry is blocked.
+func (s *Simulation) spawn() {
+	if s.cfg.Arrivals == nil {
+		return
+	}
+	rate := math.Max(0, s.cfg.Arrivals(s.now))
+	if s.rng.Float64() < rate*s.cfg.StepSec {
+		s.backlog++
+	}
+	for s.backlog > 0 && s.entryClear() {
+		s.backlog--
+		s.seq++
+		factor := 1.0
+		if s.cfg.SpeedFactorStd > 0 {
+			factor = 1 + s.rng.NormFloat64()*s.cfg.SpeedFactorStd
+			factor = math.Max(0.7, math.Min(1.3, factor))
+		}
+		v := &vehicle{
+			id:          fmt.Sprintf("veh-%d", s.seq),
+			speedFactor: factor,
+			enterTime:   s.now,
+			// Enter rolling at a modest speed, as if arriving from
+			// upstream.
+			speed: math.Min(8, s.krauss(s.headroom(), 0)),
+		}
+		s.insert(v)
+	}
+}
+
+// headroom returns the free distance ahead of the entry point.
+func (s *Simulation) headroom() float64 {
+	h := s.cfg.Route.LengthM()
+	for _, v := range s.vehicles {
+		if !v.done {
+			h = v.pos - s.cfg.Vehicle.LengthM - s.cfg.Vehicle.MinGapM
+		}
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}

@@ -1,0 +1,159 @@
+// Package trace persists and loads the artifacts of trace-driven
+// evaluation: velocity profiles ("collected drives") and hourly traffic
+// volume series, as CSV — the interchange format of the instrumented-drive
+// and loop-counter data the paper collected.
+//
+// Formats:
+//
+//	profile CSV:  header "t_sec,pos_m,speed_ms", one sample per row
+//	volume  CSV:  header "hour,veh_per_hour",   one hour per row
+//
+// Readers validate monotonicity and ranges through the underlying
+// constructors, so a loaded artifact is as trustworthy as a generated one.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"evvo/internal/profile"
+	"evvo/internal/traffic"
+)
+
+// profileHeader is the column set for profile CSVs.
+var profileHeader = []string{"t_sec", "pos_m", "speed_ms"}
+
+// WriteProfile encodes a velocity profile as CSV.
+func WriteProfile(w io.Writer, p *profile.Profile) error {
+	if p == nil {
+		return fmt.Errorf("trace: nil profile")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(profileHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, pt := range p.Points() {
+		rec := []string{
+			strconv.FormatFloat(pt.T, 'f', -1, 64),
+			strconv.FormatFloat(pt.Pos, 'f', -1, 64),
+			strconv.FormatFloat(pt.V, 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing sample: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadProfile decodes a profile CSV written by WriteProfile (or collected
+// by any tool emitting the same columns).
+func ReadProfile(r io.Reader) (*profile.Profile, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range profileHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var pts []profile.Point
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		var pt profile.Point
+		if pt.T, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", line, rec[0])
+		}
+		if pt.Pos, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad position %q", line, rec[1])
+		}
+		if pt.V, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad speed %q", line, rec[2])
+		}
+		pts = append(pts, pt)
+	}
+	p, err := profile.New(pts)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return p, nil
+}
+
+// volumeHeader is the column set for volume CSVs.
+var volumeHeader = []string{"hour", "veh_per_hour"}
+
+// WriteVolumes encodes an hourly volume series as CSV.
+func WriteVolumes(w io.Writer, s *traffic.Series) error {
+	if s == nil {
+		return fmt.Errorf("trace: nil series")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(volumeHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for h, v := range s.Values {
+		rec := []string{strconv.Itoa(h), strconv.FormatFloat(v, 'f', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing hour %d: %w", h, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadVolumes decodes a volume CSV written by WriteVolumes. Hours must be
+// contiguous from zero.
+func ReadVolumes(r io.Reader) (*traffic.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range volumeHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var values []float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		h, err := strconv.Atoi(rec[0])
+		if err != nil || h != len(values) {
+			return nil, fmt.Errorf("trace: line %d: hour %q not contiguous from 0", line, rec[0])
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad volume %q", line, rec[1])
+		}
+		values = append(values, v)
+	}
+	s, err := traffic.NewSeries(values)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"evvo/internal/profile"
+	"evvo/internal/road"
+	"evvo/internal/traffic"
+)
+
+func sampleProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	p, err := profile.Drive(profile.DriveConfig{Route: road.US25(), Style: profile.Mild()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := sampleProfile(t)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, gotPts := p.Points(), got.Points()
+	if len(want) != len(gotPts) {
+		t.Fatalf("point count %d vs %d", len(gotPts), len(want))
+	}
+	for i := range want {
+		if want[i] != gotPts[i] {
+			t.Fatalf("point %d: %+v vs %+v", i, gotPts[i], want[i])
+		}
+	}
+}
+
+func TestWriteProfileNil(t *testing.T) {
+	if err := WriteProfile(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"wrong header":    "a,b,c\n1,2,3\n",
+		"bad time":        "t_sec,pos_m,speed_ms\nxx,0,0\n",
+		"bad position":    "t_sec,pos_m,speed_ms\n0,xx,0\n",
+		"bad speed":       "t_sec,pos_m,speed_ms\n0,0,xx\n",
+		"negative speed":  "t_sec,pos_m,speed_ms\n0,0,-1\n1,1,1\n",
+		"time regression": "t_sec,pos_m,speed_ms\n5,0,1\n4,1,1\n",
+		"too few points":  "t_sec,pos_m,speed_ms\n0,0,0\n",
+		"ragged row":      "t_sec,pos_m,speed_ms\n0,0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadProfile(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestVolumesRoundTrip(t *testing.T) {
+	s, err := traffic.Synthesize(traffic.SyntheticConfig{Weeks: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVolumes(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVolumes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), s.Len())
+	}
+	for h := 0; h < s.Len(); h++ {
+		if got.At(h) != s.At(h) {
+			t.Fatalf("hour %d: %v vs %v", h, got.At(h), s.At(h))
+		}
+	}
+}
+
+func TestWriteVolumesNil(t *testing.T) {
+	if err := WriteVolumes(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil series accepted")
+	}
+}
+
+func TestReadVolumesRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"wrong header":    "h,v\n0,1\n",
+		"non-contiguous":  "hour,veh_per_hour\n0,10\n2,10\n",
+		"bad hour":        "hour,veh_per_hour\nxx,10\n",
+		"bad volume":      "hour,veh_per_hour\n0,xx\n",
+		"negative volume": "hour,veh_per_hour\n0,-5\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadVolumes(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %q", in)
+			}
+		})
+	}
+}
+
+// Property: any valid generated profile survives a round trip bit-exactly.
+func TestPropProfileRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(math.Abs(float64(seed%20)))
+		pts := make([]profile.Point, n)
+		tt, pos := 0.0, 0.0
+		for i := range pts {
+			tt += 0.5 + float64((seed+int64(i))%7)/10
+			pos += float64((seed+int64(2*i))%13) / 2
+			if pos < 0 {
+				pos = -pos
+			}
+			pts[i] = profile.Point{T: tt, Pos: pts[max(0, i-1)].Pos + math.Abs(pos-pts[max(0, i-1)].Pos), V: float64(i % 5)}
+		}
+		p, err := profile.New(pts)
+		if err != nil {
+			return true // invalid construction: nothing to round-trip
+		}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			return false
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := p.Points(), got.Points()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classical baselines to compare the SAE against — the SAE's citation [10]
+// motivates deep models by their advantage over exactly these.
+
+// SeasonalNaivePredict forecasts each hour as the volume one week earlier.
+// It returns aligned (pred, actual) slices covering hours
+// [HoursPerWeek, s.Len()).
+func SeasonalNaivePredict(s *Series) (pred, actual []float64, err error) {
+	if s == nil || s.Len() <= HoursPerWeek {
+		return nil, nil, fmt.Errorf("traffic: seasonal naive needs more than one week of data")
+	}
+	for h := HoursPerWeek; h < s.Len(); h++ {
+		pred = append(pred, s.At(h-HoursPerWeek))
+		actual = append(actual, s.At(h))
+	}
+	return pred, actual, nil
+}
+
+// ARPredictor is a linear autoregressive model y_t = c + Σ φ_i·y_{t−i},
+// fitted by ordinary least squares.
+type ARPredictor struct {
+	order int
+	c     float64
+	phi   []float64 // phi[0] multiplies y_{t−1}
+}
+
+// FitAR fits an AR(order) model to the training series.
+func FitAR(train *Series, order int) (*ARPredictor, error) {
+	if order <= 0 {
+		return nil, fmt.Errorf("traffic: AR order %d must be positive", order)
+	}
+	if train == nil || train.Len() <= order+1 {
+		return nil, fmt.Errorf("traffic: training series too short for AR(%d)", order)
+	}
+	// Design matrix columns: [1, y_{t−1}, ..., y_{t−order}].
+	dim := order + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	row := make([]float64, dim)
+	for t := order; t < train.Len(); t++ {
+		row[0] = 1
+		for i := 1; i <= order; i++ {
+			row[i] = train.At(t - i)
+		}
+		y := train.At(t)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * y
+		}
+	}
+	coef, err := solveLinear(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: AR fit: %w", err)
+	}
+	return &ARPredictor{order: order, c: coef[0], phi: coef[1:]}, nil
+}
+
+// Order returns the model order p.
+func (a *ARPredictor) Order() int { return a.order }
+
+// Predict forecasts the next value from the most recent `order` values
+// (history[len-1] is y_{t−1}). Forecasts are clamped at zero.
+func (a *ARPredictor) Predict(history []float64) (float64, error) {
+	if len(history) < a.order {
+		return 0, fmt.Errorf("traffic: AR(%d) needs %d history values, got %d", a.order, a.order, len(history))
+	}
+	y := a.c
+	for i := 0; i < a.order; i++ {
+		y += a.phi[i] * history[len(history)-1-i]
+	}
+	if y < 0 {
+		y = 0
+	}
+	return y, nil
+}
+
+// PredictSeries runs one-step-ahead forecasts over a test series,
+// mirroring Predictor.PredictSeries's alignment.
+func (a *ARPredictor) PredictSeries(test *Series) (pred, actual []float64, err error) {
+	if test == nil || test.Len() <= a.order {
+		return nil, nil, fmt.Errorf("traffic: test series too short for AR(%d)", a.order)
+	}
+	for h := a.order; h < test.Len(); h++ {
+		p, err := a.Predict(test.Values[h-a.order : h])
+		if err != nil {
+			return nil, nil, err
+		}
+		pred = append(pred, p)
+		actual = append(actual, test.At(h))
+	}
+	return pred, actual, nil
+}
+
+// solveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting. A is modified in place.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("traffic: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

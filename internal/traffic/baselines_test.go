@@ -1,0 +1,217 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"evvo/internal/metrics"
+	"evvo/internal/neural"
+)
+
+func TestSeasonalNaive(t *testing.T) {
+	s := synth(t, 3, 8)
+	pred, actual, err := SeasonalNaivePredict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 2*HoursPerWeek || len(pred) != len(actual) {
+		t.Fatalf("lengths %d/%d", len(pred), len(actual))
+	}
+	mre, err := metrics.MRE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weekly seasonality dominates the synthetic process: last-week must be
+	// far better than chance but worse than perfect.
+	if mre <= 0 || mre > 0.5 {
+		t.Fatalf("seasonal-naive MRE %v implausible", mre)
+	}
+	short, err := NewSeries(make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SeasonalNaivePredict(short); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestFitARRecoversKnownProcess(t *testing.T) {
+	// Generate y_t = 5 + 0.6 y_{t−1} + 0.3 y_{t−2} + ε and check the fit
+	// recovers the coefficients.
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	values := make([]float64, n)
+	values[0], values[1] = 50, 50
+	for t := 2; t < n; t++ {
+		values[t] = 5 + 0.6*values[t-1] + 0.3*values[t-2] + rng.NormFloat64()*2
+		if values[t] < 0 {
+			values[t] = 0
+		}
+	}
+	s, err := NewSeries(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := FitAR(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ar.phi[0]-0.6) > 0.05 || math.Abs(ar.phi[1]-0.3) > 0.05 {
+		t.Fatalf("recovered φ = %v, want ≈[0.6, 0.3]", ar.phi)
+	}
+	if math.Abs(ar.c-5) > 2 {
+		t.Fatalf("recovered c = %v, want ≈5", ar.c)
+	}
+}
+
+func TestFitARValidation(t *testing.T) {
+	s := synth(t, 1, 1)
+	if _, err := FitAR(s, 0); err == nil {
+		t.Fatal("zero order accepted")
+	}
+	if _, err := FitAR(nil, 2); err == nil {
+		t.Fatal("nil series accepted")
+	}
+	tiny, err := NewSeries([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitAR(tiny, 5); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestARPredictValidation(t *testing.T) {
+	ar, err := FitAR(synth(t, 2, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Order() != 3 {
+		t.Fatalf("Order = %d", ar.Order())
+	}
+	if _, err := ar.Predict([]float64{1}); err == nil {
+		t.Fatal("short history accepted")
+	}
+	if _, _, err := ar.PredictSeries(nil); err == nil {
+		t.Fatal("nil test series accepted")
+	}
+}
+
+func TestARBeatsConstantMean(t *testing.T) {
+	all := synth(t, 5, 6)
+	train, err := all.Slice(0, 4*HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := all.Slice(4*HoursPerWeek, 5*HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := FitAR(train, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, actual, err := ar.PredictSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arRMSE, err := metrics.RMSE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := metrics.Mean(train.Values)
+	naive := make([]float64, len(actual))
+	for i := range naive {
+		naive[i] = mean
+	}
+	meanRMSE, _ := metrics.RMSE(naive, actual)
+	if arRMSE >= meanRMSE {
+		t.Fatalf("AR(24) RMSE %v should beat constant mean %v", arRMSE, meanRMSE)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}} // rank 1
+	if _, err := solveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x − y = 1 → x = 2, y = 1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	x, err := solveLinear(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("solution %v, want [2, 1]", x)
+	}
+}
+
+func TestPredictorSaveLoad(t *testing.T) {
+	p, _, test := trainSmall(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Window() != p.Window() {
+		t.Fatalf("window %d vs %d", loaded.Window(), p.Window())
+	}
+	// Bit-identical forecasts.
+	a, _, err := p.PredictSeries(test, 4*HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.PredictSeries(test, 4*HoursPerWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("forecast %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{nope",
+		"wrong format":  `{"format":"x","version":1,"window":4,"scale":1}`,
+		"wrong version": `{"format":"evvo-traffic-predictor","version":9,"window":4,"scale":1}`,
+		"bad window":    `{"format":"evvo-traffic-predictor","version":1,"window":0,"scale":1}`,
+		"bad scale":     `{"format":"evvo-traffic-predictor","version":1,"window":4,"scale":0}`,
+		"no network":    `{"format":"evvo-traffic-predictor","version":1,"window":4,"scale":1}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadPredictor(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestLoadPredictorRejectsShapeMismatch(t *testing.T) {
+	// Envelope window 4 (feature dim 15) but a network with input 3.
+	var buf bytes.Buffer
+	buf.WriteString(`{"format":"evvo-traffic-predictor","version":1,"window":4,"scale":1}` + "\n")
+	net, err := neural.NewNetwork([]int{3, 1}, []neural.Activation{neural.ActIdentity},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictor(&buf); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"evvo/internal/neural"
+)
+
+// Persistence lets a trained predictor (minutes of training at full
+// fidelity) be saved once and loaded by long-running services such as the
+// vehicular cloud: an envelope with the windowing metadata, followed by the
+// serialized network.
+
+// predictorEnvelope is the metadata document preceding the network.
+type predictorEnvelope struct {
+	Format  string  `json:"format"`
+	Version int     `json:"version"`
+	Window  int     `json:"window"`
+	Scale   float64 `json:"scale"`
+}
+
+// Persistence constants.
+const (
+	predictorFormat  = "evvo-traffic-predictor"
+	predictorVersion = 1
+)
+
+// Save writes the predictor (envelope + network) as two consecutive JSON
+// documents.
+func (p *Predictor) Save(w io.Writer) error {
+	env := predictorEnvelope{
+		Format: predictorFormat, Version: predictorVersion,
+		Window: p.cfg.Window, Scale: p.scale,
+	}
+	if err := json.NewEncoder(w).Encode(&env); err != nil {
+		return fmt.Errorf("traffic: saving predictor envelope: %w", err)
+	}
+	return p.net.Save(w)
+}
+
+// LoadPredictor reads a predictor saved by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	dec := json.NewDecoder(r)
+	var env predictorEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("traffic: loading predictor envelope: %w", err)
+	}
+	switch {
+	case env.Format != predictorFormat:
+		return nil, fmt.Errorf("traffic: format %q, want %q", env.Format, predictorFormat)
+	case env.Version != predictorVersion:
+		return nil, fmt.Errorf("traffic: predictor version %d unsupported", env.Version)
+	case env.Window <= 0:
+		return nil, fmt.Errorf("traffic: window %d invalid", env.Window)
+	case env.Scale <= 0:
+		return nil, fmt.Errorf("traffic: scale %g invalid", env.Scale)
+	}
+	// The decoder may have buffered part of the network document.
+	net, err := neural.Load(io.MultiReader(dec.Buffered(), r))
+	if err != nil {
+		return nil, err
+	}
+	if net.InputDim() != featureDim(env.Window) {
+		return nil, fmt.Errorf("traffic: network input %d does not match window %d (want %d)",
+			net.InputDim(), env.Window, featureDim(env.Window))
+	}
+	if net.OutputDim() != 1 {
+		return nil, fmt.Errorf("traffic: network output %d, want 1", net.OutputDim())
+	}
+	return &Predictor{cfg: PredictorConfig{Window: env.Window}, net: net, scale: env.Scale}, nil
+}

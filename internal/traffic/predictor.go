@@ -1,0 +1,192 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"evvo/internal/metrics"
+	"evvo/internal/neural"
+)
+
+// PredictorConfig parameterizes the SAE volume predictor. The feature
+// vector for hour t is the previous Window volumes (max-normalized) plus
+// sine/cosine encodings of hour-of-day and a weekend flag, exactly the
+// "historical volume V_in(t) and the specific time t" inputs of the paper's
+// SAE model; the target is the volume at t (one-hour-ahead prediction).
+type PredictorConfig struct {
+	// Window is the number of past hours fed to the model (default 12).
+	Window int
+	// Hidden are the SAE encoder widths (default {32, 16}).
+	Hidden []int
+	// PretrainEpochs and FinetuneEpochs (defaults 20 and 80).
+	PretrainEpochs, FinetuneEpochs int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c *PredictorConfig) applyDefaults() {
+	if c.Window == 0 {
+		c.Window = 12
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{32, 16}
+	}
+	if c.PretrainEpochs == 0 {
+		c.PretrainEpochs = 20
+	}
+	if c.FinetuneEpochs == 0 {
+		c.FinetuneEpochs = 80
+	}
+}
+
+// Predictor is a trained SAE volume model.
+type Predictor struct {
+	cfg   PredictorConfig
+	net   *neural.Network
+	scale float64 // max-normalization factor
+}
+
+// featureDim returns Window + 11 time encodings (four hour-of-day
+// harmonics, day-of-week phase, weekend flag).
+func featureDim(window int) int { return window + 11 }
+
+// features builds the input vector for predicting hour h of series s,
+// using s.Values[h-window:h] as history.
+func (p *Predictor) features(history []float64, h int) []float64 {
+	x := make([]float64, 0, featureDim(p.cfg.Window))
+	for _, v := range history {
+		x = append(x, v/p.scale)
+	}
+	hod := float64(HourOfDay(h))
+	dow := float64(int(DayOfWeek(h)))
+	// Four diurnal harmonics resolve the sharp rush-hour peaks that a
+	// single sinusoid smears out.
+	for k := 1.0; k <= 4; k++ {
+		x = append(x, math.Sin(2*math.Pi*k*hod/24), math.Cos(2*math.Pi*k*hod/24))
+	}
+	x = append(x,
+		math.Sin(2*math.Pi*dow/7),
+		math.Cos(2*math.Pi*dow/7),
+		boolToF(IsWeekend(h)),
+	)
+	return x
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TrainPredictor fits an SAE to a training series.
+func TrainPredictor(train *Series, cfg PredictorConfig) (*Predictor, error) {
+	cfg.applyDefaults()
+	if train == nil || train.Len() <= cfg.Window {
+		return nil, fmt.Errorf("traffic: training series too short for window %d", cfg.Window)
+	}
+	scale := metrics.Max(train.Values)
+	if scale <= 0 {
+		return nil, fmt.Errorf("traffic: training series is all zeros")
+	}
+	sae, err := neural.NewSAE(neural.SAEConfig{
+		InputDim:       featureDim(cfg.Window),
+		OutputDim:      1,
+		Hidden:         cfg.Hidden,
+		PretrainEpochs: cfg.PretrainEpochs,
+		FinetuneEpochs: cfg.FinetuneEpochs,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Predictor{cfg: cfg, net: sae.Network(), scale: scale}
+	var xs, ys [][]float64
+	for h := cfg.Window; h < train.Len(); h++ {
+		xs = append(xs, p.features(train.Values[h-cfg.Window:h], h))
+		ys = append(ys, []float64{train.Values[h] / scale})
+	}
+	if _, err := sae.Fit(xs, ys); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Window returns the model's input window length in hours.
+func (p *Predictor) Window() int { return p.cfg.Window }
+
+// Predict returns the predicted volume (veh/h) for hour h given the
+// preceding Window hourly volumes. Predictions are clamped at zero.
+func (p *Predictor) Predict(history []float64, h int) (float64, error) {
+	if len(history) != p.cfg.Window {
+		return 0, fmt.Errorf("traffic: history length %d, want %d", len(history), p.cfg.Window)
+	}
+	out := p.net.Forward(p.features(history, h))[0] * p.scale
+	if out < 0 {
+		out = 0
+	}
+	return out, nil
+}
+
+// PredictSeries predicts every hour of a test series using its own
+// preceding values as history (the first Window hours seed the history and
+// are not predicted). The returned slices align: pred[i] forecasts
+// actual[i] at hour offsets Window..Len-1.
+func (p *Predictor) PredictSeries(test *Series, hourOffset int) (pred, actual []float64, err error) {
+	if test == nil || test.Len() <= p.cfg.Window {
+		return nil, nil, fmt.Errorf("traffic: test series too short for window %d", p.cfg.Window)
+	}
+	for h := p.cfg.Window; h < test.Len(); h++ {
+		v, err := p.Predict(test.Values[h-p.cfg.Window:h], hourOffset+h)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred = append(pred, v)
+		actual = append(actual, test.Values[h])
+	}
+	return pred, actual, nil
+}
+
+// DayScore is a per-day prediction quality summary (the paper's Fig. 4(b)).
+type DayScore struct {
+	Day  string
+	MRE  float64 // fraction, e.g. 0.07 = 7%
+	RMSE float64 // vehicles/hour
+}
+
+// EvaluateByDay scores predictions against a one-week (or longer) test
+// series, grouped by weekday. hourOffset is the test series' first hour's
+// offset within the week (0 = midnight Monday).
+func (p *Predictor) EvaluateByDay(test *Series, hourOffset int) ([]DayScore, error) {
+	pred, actual, err := p.PredictSeries(test, hourOffset)
+	if err != nil {
+		return nil, err
+	}
+	byDay := map[string][2][]float64{}
+	order := []string{}
+	for i := range pred {
+		h := hourOffset + p.cfg.Window + i
+		day := DayOfWeek(h).String()
+		pair, ok := byDay[day]
+		if !ok {
+			order = append(order, day)
+		}
+		pair[0] = append(pair[0], pred[i])
+		pair[1] = append(pair[1], actual[i])
+		byDay[day] = pair
+	}
+	var out []DayScore
+	for _, day := range order {
+		pair := byDay[day]
+		mre, err := metrics.MRE(pair[0], pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: scoring %s: %w", day, err)
+		}
+		rmse, err := metrics.RMSE(pair[0], pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: scoring %s: %w", day, err)
+		}
+		out = append(out, DayScore{Day: day, MRE: mre, RMSE: rmse})
+	}
+	return out, nil
+}

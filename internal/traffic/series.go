@@ -1,0 +1,171 @@
+// Package traffic models the traffic-volume side of the paper: an hourly
+// volume series in the style of the SC-DOT loop counters the authors
+// trained on (Section III-A-2), a synthetic generator substituting for
+// that proprietary feed (documented in DESIGN.md §4), dataset windowing,
+// and the SAE-based volume predictor whose output feeds the queue model
+// as the vehicle arrival rate V_in.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// HoursPerDay and HoursPerWeek size weekly series.
+const (
+	HoursPerDay  = 24
+	HoursPerWeek = 7 * 24
+)
+
+// Series is an hourly traffic-volume series (vehicles/hour). Hour 0 is
+// midnight Monday; weekday arithmetic follows from the index.
+type Series struct {
+	// Values[h] is the volume in vehicles/hour for hour h.
+	Values []float64
+}
+
+// NewSeries validates and wraps hourly values (copied).
+func NewSeries(values []float64) (*Series, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("traffic: empty series")
+	}
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: value %g at hour %d invalid", v, i)
+		}
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	return &Series{Values: cp}, nil
+}
+
+// Len returns the number of hours.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the volume at hour h.
+func (s *Series) At(h int) float64 { return s.Values[h] }
+
+// HourOfDay returns h mod 24.
+func HourOfDay(h int) int { return h % HoursPerDay }
+
+// DayOfWeek returns the weekday for hour h, with hour 0 = Monday.
+func DayOfWeek(h int) time.Weekday {
+	return time.Weekday((int(time.Monday) + h/HoursPerDay) % 7)
+}
+
+// IsWeekend reports whether hour h falls on Saturday or Sunday.
+func IsWeekend(h int) bool {
+	d := DayOfWeek(h)
+	return d == time.Saturday || d == time.Sunday
+}
+
+// Slice returns the sub-series covering hours [from, to).
+func (s *Series) Slice(from, to int) (*Series, error) {
+	if from < 0 || to > len(s.Values) || from >= to {
+		return nil, fmt.Errorf("traffic: slice [%d, %d) out of range (len %d)", from, to, len(s.Values))
+	}
+	return NewSeries(s.Values[from:to])
+}
+
+// VehPerSecAt converts the volume at hour h to vehicles/second, the unit
+// the queue model consumes.
+func (s *Series) VehPerSecAt(h int) float64 { return s.Values[h] / 3600 }
+
+// SyntheticConfig parameterizes the synthetic SC-DOT substitute. The shape
+// is a weekday double-peak diurnal curve (AM and PM rush), attenuated
+// weekends, AR(1) noise, and sporadic incident spikes.
+type SyntheticConfig struct {
+	// Weeks of data to generate (required, > 0).
+	Weeks int
+	// Seed drives all randomness.
+	Seed int64
+	// BaseVehPerHour is the overnight floor (default 110, typical of a
+	// US highway corridor — relative prediction error at night is bounded
+	// by this floor).
+	BaseVehPerHour float64
+	// AMPeakVehPerHour and PMPeakVehPerHour are the rush-hour amplitudes
+	// added on top of the base (defaults 260 and 320).
+	AMPeakVehPerHour, PMPeakVehPerHour float64
+	// WeekendFactor scales weekend volumes (default 0.6).
+	WeekendFactor float64
+	// NoiseStd is the relative (multiplicative, log-space) AR(1)
+	// innovation standard deviation (default 0.06 ≈ ±6%, a stationary
+	// hour-to-hour variability of ≈7%, typical of urban loop counters).
+	// Real counter noise scales with volume, which keeps night-time
+	// relative errors bounded.
+	NoiseStd float64
+	// NoiseAR is the AR(1) coefficient in [0, 1) (default 0.5).
+	NoiseAR float64
+	// IncidentPerWeek is the expected number of incident hours per week;
+	// an incident multiplies one hour's volume by IncidentFactor
+	// (defaults 2 and 1.8).
+	IncidentPerWeek float64
+	// IncidentFactor multiplies volume during an incident hour.
+	IncidentFactor float64
+}
+
+func (c *SyntheticConfig) applyDefaults() {
+	if c.BaseVehPerHour == 0 {
+		c.BaseVehPerHour = 110
+	}
+	if c.AMPeakVehPerHour == 0 {
+		c.AMPeakVehPerHour = 260
+	}
+	if c.PMPeakVehPerHour == 0 {
+		c.PMPeakVehPerHour = 320
+	}
+	if c.WeekendFactor == 0 {
+		c.WeekendFactor = 0.6
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.06
+	}
+	if c.NoiseAR == 0 {
+		c.NoiseAR = 0.5
+	}
+	if c.IncidentPerWeek == 0 {
+		c.IncidentPerWeek = 2
+	}
+	if c.IncidentFactor == 0 {
+		c.IncidentFactor = 1.8
+	}
+}
+
+// Synthesize generates a deterministic synthetic volume series.
+func Synthesize(cfg SyntheticConfig) (*Series, error) {
+	cfg.applyDefaults()
+	if cfg.Weeks <= 0 {
+		return nil, fmt.Errorf("traffic: weeks %d must be positive", cfg.Weeks)
+	}
+	if cfg.NoiseAR < 0 || cfg.NoiseAR >= 1 {
+		return nil, fmt.Errorf("traffic: AR coefficient %g must be in [0, 1)", cfg.NoiseAR)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Weeks * HoursPerWeek
+	values := make([]float64, n)
+	noise := 0.0
+	for h := 0; h < n; h++ {
+		hod := float64(HourOfDay(h))
+		// Double-peak diurnal curve: Gaussians centred at 08:00 and 17:30.
+		am := cfg.AMPeakVehPerHour * math.Exp(-sq(hod-8)/sq(1.6))
+		pm := cfg.PMPeakVehPerHour * math.Exp(-sq(hod-17.5)/sq(2.0))
+		v := cfg.BaseVehPerHour + am + pm
+		if IsWeekend(h) {
+			v *= cfg.WeekendFactor
+		}
+		noise = cfg.NoiseAR*noise + rng.NormFloat64()*cfg.NoiseStd
+		v *= math.Exp(noise)
+		if rng.Float64() < cfg.IncidentPerWeek/HoursPerWeek {
+			v *= cfg.IncidentFactor
+		}
+		if v < 0 {
+			v = 0
+		}
+		values[h] = v
+	}
+	return NewSeries(values)
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,295 @@
+package trasi
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"evvo/internal/profile"
+	"evvo/internal/sim"
+)
+
+// Client is a trasi protocol client. Not safe for concurrent use; open one
+// client per goroutine (the server multiplexes).
+type Client struct {
+	conn net.Conn
+	// Timeout bounds each request/response round trip (default 10 s).
+	Timeout time.Duration
+}
+
+// Dial connects to a trasi server and performs the Hello handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("trasi: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, Timeout: 10 * time.Second}
+	var b buffer
+	b.byte1(CmdHello)
+	b.b = append(b.b, Magic...)
+	b.uint16(Version)
+	resp, err := c.roundTrip(b.b)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("trasi: handshake: %w", err)
+	}
+	ver, err := resp.uint16()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("trasi: handshake response: %w", err)
+	}
+	if ver != Version {
+		conn.Close()
+		return nil, fmt.Errorf("trasi: server speaks version %d, want %d", ver, Version)
+	}
+	return c, nil
+}
+
+// Close sends Bye (best effort) and closes the connection.
+func (c *Client) Close() error {
+	var b buffer
+	b.byte1(CmdBye)
+	_, _ = c.roundTrip(b.b) // the connection is going away regardless
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and parses the response status, returning a
+// reader over the response body.
+func (c *Client) roundTrip(payload []byte) (*reader, error) {
+	deadline := time.Now().Add(c.Timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("trasi: setting deadline: %w", err)
+	}
+	if err := writeFrame(c.conn, payload); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("trasi: reading response: %w", err)
+	}
+	r := &reader{b: resp}
+	status, err := r.byte1()
+	if err != nil {
+		return nil, fmt.Errorf("trasi: empty response")
+	}
+	if status == statusOK {
+		return r, nil
+	}
+	code, err := r.uint16()
+	if err != nil {
+		return nil, fmt.Errorf("trasi: malformed error response")
+	}
+	msg, err := r.string2()
+	if err != nil {
+		return nil, fmt.Errorf("trasi: malformed error response")
+	}
+	return nil, &RemoteError{Code: code, Msg: msg}
+}
+
+// Time returns the simulation's current time.
+func (c *Client) Time() (float64, error) {
+	var b buffer
+	b.byte1(CmdGetTime)
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	return r.float64()
+}
+
+// Step advances the simulation n ticks and returns the new time.
+func (c *Client) Step(n uint32) (float64, error) {
+	var b buffer
+	b.byte1(CmdStep)
+	b.uint32(n)
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	return r.float64()
+}
+
+// AddVehicle inserts a controlled vehicle at the corridor entry.
+func (c *Client) AddVehicle(id string) error {
+	var b buffer
+	b.byte1(CmdAddVehicle)
+	if err := b.string2(id); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(b.b)
+	return err
+}
+
+// SetSpeed commands a controlled vehicle's target speed.
+func (c *Client) SetSpeed(id string, speed float64) error {
+	var b buffer
+	b.byte1(CmdSetSpeed)
+	if err := b.string2(id); err != nil {
+		return err
+	}
+	b.float64(speed)
+	_, err := c.roundTrip(b.b)
+	return err
+}
+
+// VehicleState is the client-side vehicle observation.
+type VehicleState struct {
+	PosM, SpeedMS float64
+	Done          bool
+}
+
+// GetVehicle returns the state of a vehicle.
+func (c *Client) GetVehicle(id string) (VehicleState, error) {
+	var b buffer
+	b.byte1(CmdGetVehicle)
+	if err := b.string2(id); err != nil {
+		return VehicleState{}, err
+	}
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return VehicleState{}, err
+	}
+	var st VehicleState
+	if st.PosM, err = r.float64(); err != nil {
+		return VehicleState{}, err
+	}
+	if st.SpeedMS, err = r.float64(); err != nil {
+		return VehicleState{}, err
+	}
+	if st.Done, err = r.bool1(); err != nil {
+		return VehicleState{}, err
+	}
+	return st, nil
+}
+
+// SignalGreen reports the phase of a named signal.
+func (c *Client) SignalGreen(name string) (bool, error) {
+	var b buffer
+	b.byte1(CmdGetSignal)
+	if err := b.string2(name); err != nil {
+		return false, err
+	}
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return false, err
+	}
+	return r.bool1()
+}
+
+// QueueAt returns the standing-queue length at a named signal.
+func (c *Client) QueueAt(name string) (int, error) {
+	var b buffer
+	b.byte1(CmdGetQueue)
+	if err := b.string2(name); err != nil {
+		return 0, err
+	}
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.uint32()
+	return int(n), err
+}
+
+// VehicleCount returns the number of vehicles on the corridor.
+func (c *Client) VehicleCount() (int, error) {
+	var b buffer
+	b.byte1(CmdVehicleCount)
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.uint32()
+	return int(n), err
+}
+
+// Trips fetches the completed trips so far.
+func (c *Client) Trips() ([]sim.Trip, error) {
+	var b buffer
+	b.byte1(CmdGetTrips)
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	trips := make([]sim.Trip, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var tr sim.Trip
+		if tr.ID, err = r.string2(); err != nil {
+			return nil, err
+		}
+		if tr.EnterSec, err = r.float64(); err != nil {
+			return nil, err
+		}
+		if tr.ExitSec, err = r.float64(); err != nil {
+			return nil, err
+		}
+		if tr.Turned, err = r.bool1(); err != nil {
+			return nil, err
+		}
+		trips = append(trips, tr)
+	}
+	return trips, nil
+}
+
+// Crossings returns how many vehicles have crossed a named signal.
+func (c *Client) Crossings(name string) (int, error) {
+	var b buffer
+	b.byte1(CmdGetCrossings)
+	if err := b.string2(name); err != nil {
+		return 0, err
+	}
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.uint32()
+	return int(n), err
+}
+
+// Backlog returns the number of deferred background spawns.
+func (c *Client) Backlog() (int, error) {
+	var b buffer
+	b.byte1(CmdGetBacklog)
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.uint32()
+	return int(n), err
+}
+
+// GetTrace fetches the recorded trajectory of a controlled vehicle.
+func (c *Client) GetTrace(id string) (*profile.Profile, error) {
+	var b buffer
+	b.byte1(CmdGetTrace)
+	if err := b.string2(id); err != nil {
+		return nil, err
+	}
+	r, err := c.roundTrip(b.b)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]profile.Point, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var p profile.Point
+		if p.T, err = r.float64(); err != nil {
+			return nil, err
+		}
+		if p.Pos, err = r.float64(); err != nil {
+			return nil, err
+		}
+		if p.V, err = r.float64(); err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return profile.New(pts)
+}

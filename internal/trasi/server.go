@@ -1,0 +1,345 @@
+package trasi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"evvo/internal/sim"
+)
+
+// Server exposes a Simulation over the trasi protocol. Connections are
+// handled concurrently; simulation access is serialized by a mutex.
+type Server struct {
+	mu  sync.Mutex
+	sim *sim.Simulation
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps a simulation.
+func NewServer(s *sim.Simulation) (*Server, error) {
+	if s == nil {
+		return nil, fmt.Errorf("trasi: nil simulation")
+	}
+	return &Server{sim: s, conns: make(map[net.Conn]struct{}), Logf: log.Printf}, nil
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and serves in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trasi: listen %s: %w", addr, err)
+	}
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("trasi: server closed")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.lnMu.Lock()
+			delete(s.conns, conn)
+			s.lnMu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all connections, waiting for handlers.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn handles one session: Hello, then a request loop until Bye or
+// disconnect.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if err := s.handshake(conn); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.Logf("trasi: handshake with %s failed: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // disconnect or corrupt stream; session over either way
+		}
+		resp, bye := s.handle(payload)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+		if bye {
+			return
+		}
+	}
+}
+
+func (s *Server) handshake(conn net.Conn) error {
+	payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	r := &reader{b: payload}
+	cmd, err := r.byte1()
+	if err != nil || cmd != CmdHello {
+		writeFrame(conn, errorResponse(CodeBadRequest, "expected hello"))
+		return fmt.Errorf("expected hello, got %v (err %v)", cmd, err)
+	}
+	magic, err := r.take(len(Magic))
+	if err != nil || string(magic) != Magic {
+		writeFrame(conn, errorResponse(CodeVersion, "bad magic"))
+		return fmt.Errorf("bad magic")
+	}
+	ver, err := r.uint16()
+	if err != nil || ver != Version {
+		writeFrame(conn, errorResponse(CodeVersion, fmt.Sprintf("unsupported version %d", ver)))
+		return fmt.Errorf("unsupported version %d", ver)
+	}
+	var b buffer
+	b.byte1(statusOK)
+	b.uint16(Version)
+	return writeFrame(conn, b.b)
+}
+
+func errorResponse(code uint16, msg string) []byte {
+	var b buffer
+	b.byte1(statusError)
+	b.uint16(code)
+	if err := b.string2(msg); err != nil {
+		// Message too long for the wire: truncate hard.
+		b = buffer{}
+		b.byte1(statusError)
+		b.uint16(code)
+		_ = b.string2(msg[:1024])
+	}
+	return b.b
+}
+
+// handle dispatches one request payload and returns the response and
+// whether the session should end.
+func (s *Server) handle(payload []byte) (resp []byte, bye bool) {
+	r := &reader{b: payload}
+	cmd, err := r.byte1()
+	if err != nil {
+		return errorResponse(CodeBadRequest, "empty request"), false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch cmd {
+	case CmdGetTime:
+		var b buffer
+		b.byte1(statusOK)
+		b.float64(s.sim.Time())
+		return b.b, false
+
+	case CmdStep:
+		n, err := r.uint32()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "step: missing count"), false
+		}
+		if n == 0 || n > 1_000_000 {
+			return errorResponse(CodeBadRequest, fmt.Sprintf("step: count %d out of range", n)), false
+		}
+		for i := uint32(0); i < n; i++ {
+			s.sim.Step()
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.float64(s.sim.Time())
+		return b.b, false
+
+	case CmdAddVehicle:
+		id, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "add: missing id"), false
+		}
+		if err := s.sim.AddControlled(id); err != nil {
+			return errorResponse(CodeRejected, err.Error()), false
+		}
+		return okResponse(), false
+
+	case CmdSetSpeed:
+		id, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "setspeed: missing id"), false
+		}
+		speed, err := r.float64()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "setspeed: missing speed"), false
+		}
+		if err := s.sim.SetSpeed(id, speed); err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		return okResponse(), false
+
+	case CmdGetVehicle:
+		id, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "getvehicle: missing id"), false
+		}
+		st, err := s.sim.VehicleState(id)
+		if err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.float64(st.PosM)
+		b.float64(st.SpeedMS)
+		b.bool1(st.Done)
+		return b.b, false
+
+	case CmdGetSignal:
+		name, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "getsignal: missing name"), false
+		}
+		green, err := s.sim.SignalGreen(name)
+		if err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.bool1(green)
+		return b.b, false
+
+	case CmdGetQueue:
+		name, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "getqueue: missing name"), false
+		}
+		q, err := s.sim.QueueAt(name)
+		if err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(q))
+		return b.b, false
+
+	case CmdVehicleCount:
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(s.sim.VehicleCount()))
+		return b.b, false
+
+	case CmdGetTrace:
+		id, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "gettrace: missing id"), false
+		}
+		prof, err := s.sim.Trace(id)
+		if err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		pts := prof.Points()
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(len(pts)))
+		for _, p := range pts {
+			b.float64(p.T)
+			b.float64(p.Pos)
+			b.float64(p.V)
+		}
+		if len(b.b) > MaxFrame {
+			return errorResponse(CodeRejected, "trace too large for one frame"), false
+		}
+		return b.b, false
+
+	case CmdGetTrips:
+		trips := s.sim.Trips()
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(len(trips)))
+		for _, tr := range trips {
+			if err := b.string2(tr.ID); err != nil {
+				return errorResponse(CodeRejected, err.Error()), false
+			}
+			b.float64(tr.EnterSec)
+			b.float64(tr.ExitSec)
+			b.bool1(tr.Turned)
+		}
+		if len(b.b) > MaxFrame {
+			return errorResponse(CodeRejected, "trip list too large for one frame"), false
+		}
+		return b.b, false
+
+	case CmdGetCrossings:
+		name, err := r.string2()
+		if err != nil {
+			return errorResponse(CodeBadRequest, "getcrossings: missing name"), false
+		}
+		n, err := s.sim.Crossings(name)
+		if err != nil {
+			return errorResponse(CodeUnknownEntity, err.Error()), false
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(n))
+		return b.b, false
+
+	case CmdGetBacklog:
+		var b buffer
+		b.byte1(statusOK)
+		b.uint32(uint32(s.sim.Backlog()))
+		return b.b, false
+
+	case CmdBye:
+		return okResponse(), true
+
+	default:
+		return errorResponse(CodeBadRequest, fmt.Sprintf("unknown command %d", cmd)), false
+	}
+}
+
+func okResponse() []byte {
+	var b buffer
+	b.byte1(statusOK)
+	return b.b
+}

@@ -1,0 +1,572 @@
+package trasi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"evvo/internal/queue"
+	"evvo/internal/road"
+	"evvo/internal/sim"
+)
+
+func testRoute(t *testing.T) *road.Route {
+	t.Helper()
+	r, err := road.NewRoute(road.RouteConfig{
+		LengthM: 1000, DefaultMaxMS: 15,
+		Controls: []road.Control{{
+			Kind: road.ControlSignal, PositionM: 500,
+			Timing: road.SignalTiming{RedSec: 30, GreenSec: 30}, Name: "sig",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// startServer spins up a server over a fresh simulation and returns a
+// connected client.
+func startServer(t *testing.T, cfg sim.Config) (*Server, *Client) {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestNewServerNilSim(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil simulation accepted")
+	}
+}
+
+func TestHandshakeAndTime(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1})
+	tm, err := c.Time()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != 0 {
+		t.Fatalf("initial time %v, want 0", tm)
+	}
+}
+
+func TestStepAdvancesTime(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1, StepSec: 0.5})
+	tm, err := c.Step(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm-5) > 1e-9 {
+		t.Fatalf("time after 10 steps = %v, want 5", tm)
+	}
+}
+
+func TestStepRejectsBadCount(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1})
+	if _, err := c.Step(0); err == nil {
+		t.Fatal("step 0 accepted")
+	}
+	var re *RemoteError
+	_, err := c.Step(0)
+	if !errors.As(err, &re) || re.Code != CodeBadRequest {
+		t.Fatalf("want RemoteError CodeBadRequest, got %v", err)
+	}
+}
+
+func TestVehicleLifecycleOverWire(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1, StepSec: 0.5})
+	if err := c.AddVehicle("ev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSpeed("ev", 12); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := c.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetSpeed("ev", 12); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.GetVehicle("ev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done {
+			break
+		}
+	}
+	st, err := c.GetVehicle("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("vehicle did not finish: %+v", st)
+	}
+	prof, err := c.GetTrace("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Distance() < 990 {
+		t.Fatalf("trace distance %v, want ≈1000", prof.Distance())
+	}
+}
+
+func TestUnknownEntityErrors(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1})
+	var re *RemoteError
+	if err := c.SetSpeed("ghost", 5); !errors.As(err, &re) || re.Code != CodeUnknownEntity {
+		t.Fatalf("SetSpeed ghost: %v", err)
+	}
+	if _, err := c.GetVehicle("ghost"); !errors.As(err, &re) {
+		t.Fatalf("GetVehicle ghost: %v", err)
+	}
+	if _, err := c.QueueAt("ghost"); !errors.As(err, &re) {
+		t.Fatalf("QueueAt ghost: %v", err)
+	}
+	if _, err := c.GetTrace("ghost"); !errors.As(err, &re) {
+		t.Fatalf("GetTrace ghost: %v", err)
+	}
+	if _, err := c.SignalGreen("ghost"); !errors.As(err, &re) {
+		t.Fatalf("SignalGreen ghost: %v", err)
+	}
+}
+
+func TestSignalAndQueueQueries(t *testing.T) {
+	_, c := startServer(t, sim.Config{
+		Route: testRoute(t), Seed: 2,
+		Arrivals: queue.ConstantRate(queue.VehPerHour(600)),
+	})
+	green, err := c.SignalGreen("sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if green {
+		t.Fatal("signal should start red")
+	}
+	// Advance to 88 s: inside the second red phase, by which time early
+	// arrivals have reached the light at 500 m and queued.
+	if _, err := c.Step(176); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.QueueAt("sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == 0 {
+		t.Fatal("no queue 28 s into the second red phase with steady arrivals")
+	}
+	n, err := c.VehicleCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < q {
+		t.Fatalf("vehicle count %d below queue %d", n, q)
+	}
+}
+
+func TestDuplicateVehicleRejected(t *testing.T) {
+	_, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1})
+	if err := c.AddVehicle("ev"); err != nil {
+		t.Fatal(err)
+	}
+	var re *RemoteError
+	if err := c.AddVehicle("ev"); !errors.As(err, &re) || re.Code != CodeRejected {
+		t.Fatalf("duplicate add: %v", err)
+	}
+}
+
+func TestTwoClientsShareSimulation(t *testing.T) {
+	srv, c1 := startServer(t, sim.Config{Route: testRoute(t), Seed: 1, StepSec: 0.5})
+	_ = srv
+	// Second client on the same server.
+	addr := srv.ln.Addr().String()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c1.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := c2.Time()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm-5) > 1e-9 {
+		t.Fatalf("second client sees t=%v, want 5", tm)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	s, err := sim.New(sim.Config{Route: testRoute(t), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var b buffer
+	b.byte1(CmdHello)
+	b.b = append(b.b, "NOPE"...)
+	b.uint16(Version)
+	if err := writeFrame(conn, b.b); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &reader{b: resp}
+	status, _ := r.byte1()
+	code, _ := r.uint16()
+	if status != statusError || code != CodeVersion {
+		t.Fatalf("bad magic response status=%d code=%d", status, code)
+	}
+}
+
+func TestWrongVersionRejectedByClient(t *testing.T) {
+	// A fake server that answers Hello with a wrong version.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := readFrame(conn); err != nil {
+			return
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.uint16(Version + 7)
+		writeFrame(conn, b.b)
+	}()
+	if _, err := Dial(ln.Addr().String()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	if err := writeFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write oversize: %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.Write([]byte("short"))
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestUnknownCommandGetsError(t *testing.T) {
+	s, err := sim.New(sim.Config{Route: testRoute(t), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, bye := srv.handle([]byte{0xEE})
+	if bye {
+		t.Fatal("unknown command should not end session")
+	}
+	r := &reader{b: resp}
+	status, _ := r.byte1()
+	code, _ := r.uint16()
+	if status != statusError || code != CodeBadRequest {
+		t.Fatalf("status=%d code=%d", status, code)
+	}
+}
+
+func TestTruncatedRequestPayloads(t *testing.T) {
+	s, err := sim.New(sim.Config{Route: testRoute(t), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		{},                                  // empty
+		{CmdStep},                           // missing count
+		{CmdAddVehicle, 0x00},               // truncated string length
+		{CmdSetSpeed, 0x00, 0x02, 'e', 'v'}, // missing speed
+	}
+	for i, payload := range cases {
+		resp, bye := srv.handle(payload)
+		if bye {
+			t.Fatalf("case %d ended session", i)
+		}
+		r := &reader{b: resp}
+		status, _ := r.byte1()
+		if status != statusError {
+			t.Fatalf("case %d: status %d, want error", i, status)
+		}
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A server that accepts and then never responds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Answer the handshake, then go silent.
+		if _, err := readFrame(conn); err != nil {
+			return
+		}
+		var b buffer
+		b.byte1(statusOK)
+		b.uint16(Version)
+		writeFrame(conn, b.b)
+		time.Sleep(5 * time.Second)
+		conn.Close()
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	c.Timeout = 100 * time.Millisecond
+	start := time.Now()
+	if _, err := c.Time(); err == nil {
+		t.Fatal("silent server did not time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than configured")
+	}
+}
+
+func TestServerCloseStopsSessions(t *testing.T) {
+	srv, c := startServer(t, sim.Config{Route: testRoute(t), Seed: 1})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Timeout = 200 * time.Millisecond
+	if _, err := c.Time(); err == nil {
+		t.Fatal("request succeeded after server close")
+	}
+}
+
+// Property: wire primitives round-trip exactly.
+func TestPropWireRoundTrip(t *testing.T) {
+	f := func(u16 uint16, u32 uint32, fl float64, s string, flag bool) bool {
+		if len(s) > 1000 {
+			s = s[:1000]
+		}
+		var b buffer
+		b.uint16(u16)
+		b.uint32(u32)
+		b.float64(fl)
+		if err := b.string2(s); err != nil {
+			return false
+		}
+		b.bool1(flag)
+		r := &reader{b: b.b}
+		g16, err := r.uint16()
+		if err != nil || g16 != u16 {
+			return false
+		}
+		g32, err := r.uint32()
+		if err != nil || g32 != u32 {
+			return false
+		}
+		gf, err := r.float64()
+		if err != nil || (gf != fl && !(math.IsNaN(gf) && math.IsNaN(fl))) {
+			return false
+		}
+		gs, err := r.string2()
+		if err != nil || gs != s {
+			return false
+		}
+		gb, err := r.bool1()
+		if err != nil || gb != flag {
+			return false
+		}
+		return r.remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames round-trip through a pipe.
+func TestPropFrameRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, data); err != nil {
+			return false
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorString(t *testing.T) {
+	e := &RemoteError{Code: CodeRejected, Msg: "nope"}
+	if !strings.Contains(e.Error(), "nope") {
+		t.Fatalf("error string %q", e.Error())
+	}
+}
+
+func TestTripsCrossingsBacklogOverWire(t *testing.T) {
+	_, c := startServer(t, sim.Config{
+		Route: testRoute(t), Seed: 3, StepSec: 0.5,
+		Arrivals: queue.ConstantRate(queue.VehPerHour(700)),
+	})
+	if _, err := c.Step(1200); err != nil { // 600 s of traffic
+		t.Fatal(err)
+	}
+	trips, err := c.Trips()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 {
+		t.Fatal("no trips after 600 s of 700 veh/h")
+	}
+	for _, tr := range trips {
+		if tr.ExitSec <= tr.EnterSec || tr.ID == "" {
+			t.Fatalf("malformed trip %+v", tr)
+		}
+	}
+	n, err := c.Crossings("sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no crossings counted")
+	}
+	if _, err := c.Crossings("ghost"); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	if _, err := c.Backlog(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	srv, first := startServer(t, sim.Config{
+		Route: testRoute(t), Seed: 12, StepSec: 0.5,
+		Arrivals: queue.ConstantRate(queue.VehPerHour(400)),
+	})
+	addr := srv.ln.Addr().String()
+	_ = first
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 30; j++ {
+				if _, err := c.Step(2); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.VehicleCount(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.QueueAt("sig"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All clients stepped the shared simulation: 6×30×2×0.5 s = 180 s.
+	tm, err := first.Time()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 179 {
+		t.Fatalf("shared sim time %v, want ≈180", tm)
+	}
+}

@@ -1,0 +1,228 @@
+// Package trasi implements a TraCI-style remote-control protocol for the
+// microscopic simulator (internal/sim), replacing the SUMO/TraCI socket
+// interface the paper's evaluation used (DESIGN.md §4).
+//
+// Wire format: every message is a frame — a 4-byte big-endian payload
+// length followed by the payload. A request payload starts with a 1-byte
+// command code; a response payload starts with a 1-byte status (OK or
+// error). Strings are uint16-length-prefixed UTF-8; floats are IEEE-754
+// bits in big-endian. A session begins with a Hello exchange carrying a
+// protocol magic and version.
+//
+// The server serializes all simulation access, so multiple clients may
+// share one simulation (e.g. an optimizer and a monitor).
+package trasi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every Hello request.
+	Magic = "TRSI"
+	// Version is the protocol version spoken by this implementation.
+	Version uint16 = 1
+	// MaxFrame bounds a frame payload; larger frames are rejected as
+	// corrupt before allocation.
+	MaxFrame = 1 << 20
+)
+
+// Command codes. The zero value is invalid.
+const (
+	cmdInvalid byte = iota
+	CmdHello
+	CmdGetTime
+	CmdStep
+	CmdAddVehicle
+	CmdSetSpeed
+	CmdGetVehicle
+	CmdGetSignal
+	CmdGetQueue
+	CmdVehicleCount
+	CmdGetTrace
+	CmdBye
+	CmdGetTrips
+	CmdGetCrossings
+	CmdGetBacklog
+)
+
+// Response status codes.
+const (
+	statusOK byte = iota
+	statusError
+)
+
+// Error codes carried in error responses.
+const (
+	// CodeBadRequest indicates a malformed or unknown command.
+	CodeBadRequest uint16 = iota + 1
+	// CodeUnknownEntity indicates an unknown vehicle or signal.
+	CodeUnknownEntity
+	// CodeRejected indicates the simulator refused the operation.
+	CodeRejected
+	// CodeVersion indicates a handshake version/magic mismatch.
+	CodeVersion
+)
+
+// RemoteError is an error reported by the trasi server.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("trasi: remote error %d: %s", e.Code, e.Msg)
+}
+
+// ErrFrameTooLarge is returned when a peer announces a frame beyond
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("trasi: frame exceeds MaxFrame")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trasi: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("trasi: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // EOF passthrough lets callers detect clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("trasi: reading frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// buffer is an append-only payload builder.
+type buffer struct {
+	b []byte
+}
+
+func (b *buffer) byte1(v byte) { b.b = append(b.b, v) }
+func (b *buffer) uint16(v uint16) {
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], v)
+	b.b = append(b.b, tmp[:]...)
+}
+func (b *buffer) uint32(v uint32) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	b.b = append(b.b, tmp[:]...)
+}
+func (b *buffer) float64(v float64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+	b.b = append(b.b, tmp[:]...)
+}
+func (b *buffer) bool1(v bool) {
+	if v {
+		b.byte1(1)
+	} else {
+		b.byte1(0)
+	}
+}
+func (b *buffer) string2(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("trasi: string of %d bytes exceeds uint16 length prefix", len(s))
+	}
+	b.uint16(uint16(len(s)))
+	b.b = append(b.b, s...)
+	return nil
+}
+
+// reader is a consuming payload parser; all methods fail cleanly on
+// truncated input.
+type reader struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = errors.New("trasi: truncated payload")
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.b) {
+		return nil, errTruncated
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) byte1() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) float64() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+func (r *reader) bool1() (bool, error) {
+	b, err := r.byte1()
+	if err != nil {
+		return false, err
+	}
+	return b != 0, nil
+}
+
+func (r *reader) string2() (string, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// remaining reports unconsumed bytes (trailing garbage detection).
+func (r *reader) remaining() int { return len(r.b) - r.off }
