@@ -1,0 +1,25 @@
+# Developer / CI entry points. `make check` is the gate: vet, build, and the
+# full test suite under the race detector — the race flag exercises the DP's
+# parallel relaxation, the departure-sweep pool and the fleet planner.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reproduction harness: every paper figure as a benchmark metric.
+bench:
+	$(GO) test -bench . -benchmem -run xxx .

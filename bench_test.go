@@ -60,13 +60,15 @@ func BenchmarkFig5QueueModels(b *testing.B) {
 	b.ReportMetric(clear, "clear-s")
 }
 
-// benchOptimize runs one DP variant on US-25 at the fast grid.
-func benchOptimize(b *testing.B, windows dp.WindowsFunc) *dp.Result {
+// benchOptimize runs one DP variant on US-25 at the fast grid. workers = 0
+// uses every core (the default); 1 pins the relaxation serial — outputs are
+// bit-identical either way, so both report the same planned-mAh.
+func benchOptimize(b *testing.B, windows dp.WindowsFunc, workers int) *dp.Result {
 	b.Helper()
 	cfg := dp.Config{
 		Route: road.US25(), Vehicle: ev.SparkEV(), DepartTime: 40,
 		DsM: 100, DvMS: 1, DtSec: 2, StopDwellSec: 2,
-		Windows: windows,
+		Windows: windows, Workers: workers,
 	}
 	res, err := dp.Optimize(cfg)
 	if err != nil {
@@ -80,7 +82,7 @@ func benchOptimize(b *testing.B, windows dp.WindowsFunc) *dp.Result {
 func BenchmarkFig6BaselineDP(b *testing.B) {
 	var mah float64
 	for i := 0; i < b.N; i++ {
-		res := benchOptimize(b, dp.GreenWindows(40, 840))
+		res := benchOptimize(b, dp.GreenWindows(40, 840), 0)
 		mah = res.ChargeAh * 1000
 	}
 	b.ReportMetric(mah, "planned-mAh")
@@ -96,10 +98,46 @@ func BenchmarkFig6QueueAwareDP(b *testing.B) {
 	}
 	var mah float64
 	for i := 0; i < b.N; i++ {
-		res := benchOptimize(b, wf)
+		res := benchOptimize(b, wf, 0)
 		mah = res.ChargeAh * 1000
 	}
 	b.ReportMetric(mah, "planned-mAh")
+}
+
+// BenchmarkFig6QueueAwareDPSerial pins the relaxation to one worker,
+// isolating the transition-table hoisting gain from the parallel gain
+// (compare against BenchmarkFig6QueueAwareDP on a multi-core machine).
+func BenchmarkFig6QueueAwareDPSerial(b *testing.B) {
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(153)), 40, 840)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mah float64
+	for i := 0; i < b.N; i++ {
+		res := benchOptimize(b, wf, 1)
+		mah = res.ChargeAh * 1000
+	}
+	b.ReportMetric(mah, "planned-mAh")
+}
+
+// BenchmarkSweepDepartures times the departure-sweep fan-out (7 departures
+// over the worker pool), the serving-path unit of cmd/cloudd's /v1/advise.
+func BenchmarkSweepDepartures(b *testing.B) {
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(400)), 0, 1200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dp.Config{
+		Route: road.US25(), Vehicle: ev.SparkEV(),
+		DsM: 100, DvMS: 1, DtSec: 2, StopDwellSec: 2, Windows: wf,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.SweepDepartures(cfg, 0, 60, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig7EnergyComparison runs the full four-profile pipeline of

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	evbench [--fast] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all
+//	evbench [--fast] [--workers n] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"evvo/internal/ev"
 	"evvo/internal/experiments"
@@ -19,12 +20,22 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "coarse grids and small models (quick run)")
+	workers := flag.Int("workers", 0, "cap compute parallelism (DP relaxation, fleet planning); 0 = all cores")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: evbench [--fast] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all\n")
+			"usage: evbench [--fast] [--workers n] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "evbench: --workers must be non-negative")
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		// The DP worker pools and the fleet fan-out size themselves from
+		// GOMAXPROCS, so one knob caps the whole run.
+		runtime.GOMAXPROCS(*workers)
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

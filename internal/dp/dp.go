@@ -28,6 +28,7 @@ package dp
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"evvo/internal/ev"
 	"evvo/internal/profile"
@@ -89,6 +90,12 @@ type Config struct {
 
 	// Windows supplies arrival windows per signal; nil ignores signals.
 	Windows WindowsFunc
+
+	// Workers bounds the goroutines used for the per-stage relaxation.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces a serial pass. Any worker
+	// count produces bit-identical results (see parallel.go), so this is
+	// purely a throughput knob.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -125,6 +132,9 @@ func (c *Config) applyDefaults() {
 	if c.WindowEndMarginSec == 0 {
 		c.WindowEndMarginSec = c.WindowMarginSec
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 func (c *Config) validate() error {
@@ -147,9 +157,17 @@ func (c *Config) validate() error {
 		return fmt.Errorf("dp: window margins %.1f/%.1f s must be non-negative", c.WindowMarginSec, c.WindowEndMarginSec)
 	case c.MaxTripSec/c.DtSec > 65534:
 		return fmt.Errorf("dp: %.0f time buckets exceed the backpointer packing limit; raise Δt or lower MaxTripSec", c.MaxTripSec/c.DtSec)
+	case c.Workers < 0:
+		return fmt.Errorf("dp: worker count %d must be non-negative", c.Workers)
 	}
 	return nil
 }
+
+// maxPackedJ is the largest velocity index the int32 backpointer packing
+// (j<<16 | k) can carry: one more and the shifted index reaches the sign
+// bit, silently corrupting reconstruction. Optimize validates the velocity
+// grid against it; the time buckets are bounded by validate above.
+const maxPackedJ = 1<<15 - 1
 
 // SignalArrival reports when the optimized profile reaches a signal and
 // whether that arrival fell inside the admissible window.
@@ -202,17 +220,17 @@ func Optimize(cfg Config) (*Result, error) {
 	}
 	ds := r.LengthM() / float64(n)
 
-	// Velocity grid: 0..jMax covering the fastest zone on the route.
-	maxSpeed := 0.0
-	for i := 0; i <= n; i++ {
-		_, mx := r.SpeedLimits(math.Min(float64(i)*ds, r.LengthM()-1e-9))
-		if mx > maxSpeed {
-			maxSpeed = mx
-		}
-	}
+	// Velocity grid: 0..jMax covering the fastest zone on the route. The
+	// scan probes zone boundaries as well as stage points so a zone shorter
+	// than Δs cannot shrink the grid (see routeMaxSpeed).
+	maxSpeed := routeMaxSpeed(r, n, ds)
 	jMax := int(math.Floor(maxSpeed/cfg.DvMS + 1e-9))
 	if jMax < 1 {
 		return nil, fmt.Errorf("dp: velocity grid empty: max speed %.2f m/s below Δv %.2f", maxSpeed, cfg.DvMS)
+	}
+	if jMax > maxPackedJ {
+		return nil, fmt.Errorf("dp: %d velocity levels exceed the backpointer packing limit (%d); raise Δv above %.5f m/s for max speed %.2f m/s",
+			jMax+1, maxPackedJ+1, maxSpeed/float64(maxPackedJ), maxSpeed)
 	}
 	kMax := int(math.Ceil(cfg.MaxTripSec / cfg.DtSec))
 
@@ -262,70 +280,33 @@ func Optimize(cfg Config) (*Result, error) {
 	}
 	cost[0][0] = 0 // v=0, elapsed=0 at the source
 
+	// Hoisted transition physics: the traversal time, charge ζ and power
+	// mask of a (j, j2) transition depend only on the speed pair and the
+	// stage grade — never on the time bucket — so they are computed once
+	// per pair per distinct grade instead of once per relaxation
+	// (a factor-kMax redundancy in the innermost loop otherwise).
+	bands := newAccelBands(&cfg, ds, jMax)
+	trans := newTransitionCache(&cfg, ds, jMax, bands)
+
 	expanded := 0
 	for i := 0; i < n; i++ {
 		cur, nxt := stages[i], stages[i+1]
-		grade := r.GradeAt(cur.posM + ds/2)
-		for j := cur.minJ; j <= cur.maxJ; j++ {
-			v := float64(j) * cfg.DvMS
-			// Reachable next-velocity band under the acceleration limits:
-			// v'² = v² + 2aΔs.
-			vLo := math.Sqrt(math.Max(0, v*v-2*cfg.DecelMaxMS2*ds))
-			vHi := math.Sqrt(v*v + 2*cfg.AccelMaxMS2*ds)
-			jLo := int(math.Ceil(vLo/cfg.DvMS - 1e-9))
-			jHi := int(math.Floor(vHi/cfg.DvMS + 1e-9))
-			if jLo < nxt.minJ {
-				jLo = nxt.minJ
-			}
-			if jHi > nxt.maxJ {
-				jHi = nxt.maxJ
-			}
-			if jHi < jLo {
-				continue
-			}
-			base := j * (kMax + 1)
-			for k := 0; k <= kMax; k++ {
-				c0 := cost[i][base+k]
-				if c0 == inf {
-					continue
-				}
-				elapsed := exact[i][base+k]
-				for j2 := jLo; j2 <= jHi; j2++ {
-					v2 := float64(j2) * cfg.DvMS
-					vAvg := (v + v2) / 2
-					if vAvg <= 0 {
-						continue // cannot cover Δs at zero average speed
-					}
-					dTau := ds / vAvg
-					acc := (v2 - v) / dTau
-					if !cfg.Vehicle.WithinPowerLimit(vAvg, acc, grade) {
-						continue // beyond the motor's power envelope
-					}
-					zeta := cfg.Vehicle.Charge(vAvg, acc, grade, dTau)
-					step := cur.dwellSec + dTau
-					arr := cfg.DepartTime + elapsed + step
-					if elapsed+step > cfg.MaxTripSec {
-						continue
-					}
-					k2 := int(math.Round((elapsed + step) / cfg.DtSec))
-					if k2 > kMax {
-						k2 = kMax
-					}
-					penal := 0.0
-					if ws, ok := windows[i+1]; ok && !inAnyWindow(ws, arr) {
-						penal = cfg.PenaltyAh
-					}
-					expanded++
-					nc := c0 + zeta + penal + cfg.TimeWeightAhPerSec*step
-					idx := j2*(kMax+1) + k2
-					if nc < cost[i+1][idx] {
-						cost[i+1][idx] = nc
-						exact[i+1][idx] = elapsed + step
-						back[i+1][idx] = int32(j)<<16 | int32(k)
-					}
-				}
-			}
+		ws, hasWin := windows[i+1]
+		sr := &stageRelax{
+			kMax: kMax, tw: jMax + 1,
+			curMinJ: cur.minJ, curMaxJ: cur.maxJ,
+			nxtMinJ: nxt.minJ, nxtMaxJ: nxt.maxJ,
+			bands: bands,
+			tr:    trans.forGrade(r.GradeAt(cur.posM + ds/2)),
+			dTau:  trans.dTau,
+			curCost: cost[i], curExact: exact[i],
+			nxtCost: cost[i+1], nxtExact: exact[i+1], nxtBack: back[i+1],
+			dwell: cur.dwellSec, timeW: cfg.TimeWeightAhPerSec,
+			maxTrip: cfg.MaxTripSec, dt: cfg.DtSec,
+			depart: cfg.DepartTime, penalty: cfg.PenaltyAh,
+			ws: ws, hasWin: hasWin,
 		}
+		expanded += sr.run(cfg.Workers)
 	}
 
 	// Destination: v = 0, best over arrival buckets.

@@ -417,6 +417,55 @@ func TestIntegratedQueueWindowsMatchClosedForm(t *testing.T) {
 	}
 }
 
+// TestOptimizeVelocityGridPackingLimit is the regression test for the
+// silent backpointer corruption: a fine Δv with a high speed limit used to
+// push the velocity index past 15 bits, flipping the packed int32's sign
+// and failing reconstruction with an unhelpful "broken backpointer". It
+// must now be rejected up front with an actionable error.
+func TestOptimizeVelocityGridPackingLimit(t *testing.T) {
+	r, err := road.NewRoute(road.RouteConfig{LengthM: 100, DefaultMaxMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Route: r, Vehicle: ev.SparkEV(),
+		DsM: 50, DvMS: 0.0005, DtSec: 1, MaxTripSec: 600,
+	}
+	_, err = Optimize(cfg)
+	if err == nil {
+		t.Fatal("oversized velocity grid accepted")
+	}
+	if !strings.Contains(err.Error(), "packing limit") || !strings.Contains(err.Error(), "Δv") {
+		t.Fatalf("error not actionable: %v", err)
+	}
+}
+
+// TestRouteMaxSpeedSeesShortZone is the regression test for the velocity
+// grid sizing scan: a speed zone shorter than Δs lying strictly between
+// stage points was invisible to the stage-point-only scan, shrinking jMax
+// below the route's true fastest legal speed.
+func TestRouteMaxSpeedSeesShortZone(t *testing.T) {
+	r, err := road.NewRoute(road.RouteConfig{
+		LengthM: 1000, DefaultMaxMS: 10,
+		// 30 m zone between the 400 m and 500 m stage points of a 100 m grid.
+		SpeedZones: []road.SpeedZone{{StartM: 410, EndM: 440, MinMS: 0, MaxMS: 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := routeMaxSpeed(r, 10, 100); got != 25 {
+		t.Fatalf("routeMaxSpeed = %v, want 25 (short zone missed)", got)
+	}
+	// Stage points alone must still be honored.
+	open, err := road.NewRoute(road.RouteConfig{LengthM: 1000, DefaultMaxMS: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := routeMaxSpeed(open, 10, 100); got != 18 {
+		t.Fatalf("routeMaxSpeed = %v, want 18", got)
+	}
+}
+
 func BenchmarkOptimizeCoarse(b *testing.B) {
 	cfg := coarseUS25(GreenWindows(0, 600))
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,136 @@
+package dp
+
+import (
+	"math"
+	"sync"
+
+	"evvo/internal/queue"
+)
+
+// stageRelax is one stage's relaxation, formulated as a *gather*: instead of
+// each source state scattering updates into the next stage (whose cells many
+// sources share), each destination velocity column j2 scans its own
+// predecessor band and performs every write into cost/exact/back itself.
+// Workers own disjoint contiguous ranges of destination columns, so two
+// goroutines never write the same cell and the pass needs no locks.
+//
+// Determinism: for any destination cell (j2, k2) the candidate predecessors
+// (j, k) are visited in ascending (j, k) order — exactly the order the
+// serial scatter loop visits them — and a candidate replaces the incumbent
+// only on strict improvement (nc < cost). Ties therefore keep the lowest
+// (j, k) predecessor, and the relaxed arrays are bit-identical for any
+// worker count, including 1.
+type stageRelax struct {
+	kMax int
+	tw   int // transition-table row width (jMax+1)
+
+	curMinJ, curMaxJ int
+	nxtMinJ, nxtMaxJ int
+
+	bands *accelBands
+	tr    *gradeTable
+	dTau  []float64
+
+	curCost, curExact []float64
+	nxtCost, nxtExact []float64
+	nxtBack           []int32
+
+	dwell, timeW, maxTrip, dt, depart, penalty float64
+
+	ws     []queue.Window
+	hasWin bool
+}
+
+// run relaxes the stage across at most `workers` goroutines and returns the
+// number of states expanded (identical for every worker count).
+func (s *stageRelax) run(workers int) int {
+	cols := s.nxtMaxJ - s.nxtMinJ + 1
+	if cols <= 0 {
+		return 0
+	}
+	if workers > cols {
+		workers = cols
+	}
+	if workers <= 1 {
+		return s.gather(s.nxtMinJ, s.nxtMaxJ)
+	}
+	counts := make([]int, workers)
+	chunk := (cols + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		a := s.nxtMinJ + w*chunk
+		b := min(a+chunk-1, s.nxtMaxJ)
+		if a > b {
+			break
+		}
+		wg.Add(1)
+		go func(w, a, b int) {
+			defer wg.Done()
+			counts[w] = s.gather(a, b)
+		}(w, a, b)
+	}
+	wg.Wait()
+	expanded := 0
+	for _, c := range counts {
+		expanded += c
+	}
+	return expanded
+}
+
+// gather relaxes the destination columns [j2a, j2b]. Only this call writes
+// those columns' cells.
+func (s *stageRelax) gather(j2a, j2b int) int {
+	expanded := 0
+	kw := s.kMax + 1
+	for j2 := j2a; j2 <= j2b; j2++ {
+		jA := max(s.bands.pLo[j2], s.curMinJ)
+		jB := min(s.bands.pHi[j2], s.curMaxJ)
+		if jA > jB {
+			continue
+		}
+		dstCost := s.nxtCost[j2*kw : (j2+1)*kw]
+		dstExact := s.nxtExact[j2*kw : (j2+1)*kw]
+		dstBack := s.nxtBack[j2*kw : (j2+1)*kw]
+		for j := jA; j <= jB; j++ {
+			if j2 < s.bands.lo[j] || j2 > s.bands.hi[j] {
+				continue
+			}
+			t := j*s.tw + j2
+			if !s.tr.ok[t] {
+				continue // zero average speed or beyond the power envelope
+			}
+			step := s.dwell + s.dTau[t]
+			zeta := s.tr.zeta[t]
+			tCost := s.timeW * step
+			packed := int32(j) << 16
+			srcCost := s.curCost[j*kw : (j+1)*kw]
+			srcExact := s.curExact[j*kw : (j+1)*kw]
+			for k := 0; k <= s.kMax; k++ {
+				c0 := srcCost[k]
+				if c0 == inf {
+					continue
+				}
+				elapsed := srcExact[k]
+				if elapsed+step > s.maxTrip {
+					continue
+				}
+				k2 := int(math.Round((elapsed + step) / s.dt))
+				if k2 > s.kMax {
+					k2 = s.kMax
+				}
+				penal := 0.0
+				if s.hasWin && !inAnyWindow(s.ws, s.depart+elapsed+step) {
+					penal = s.penalty
+				}
+				expanded++
+				nc := c0 + zeta + penal + tCost
+				if nc < dstCost[k2] {
+					dstCost[k2] = nc
+					dstExact[k2] = elapsed + step
+					dstBack[k2] = packed | int32(k)
+				}
+			}
+		}
+	}
+	return expanded
+}

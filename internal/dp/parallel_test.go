@@ -1,0 +1,127 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// requireIdenticalResults asserts bit-identical outcomes: equal charge,
+// trip time, expansion count, arrivals and every profile point.
+func requireIdenticalResults(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if want.ChargeAh != got.ChargeAh {
+		t.Fatalf("%s: ChargeAh %v != serial %v", label, got.ChargeAh, want.ChargeAh)
+	}
+	if want.TripSec != got.TripSec {
+		t.Fatalf("%s: TripSec %v != serial %v", label, got.TripSec, want.TripSec)
+	}
+	if want.StatesExpanded != got.StatesExpanded {
+		t.Fatalf("%s: StatesExpanded %d != serial %d", label, got.StatesExpanded, want.StatesExpanded)
+	}
+	if want.Penalized != got.Penalized {
+		t.Fatalf("%s: Penalized %v != serial %v", label, got.Penalized, want.Penalized)
+	}
+	if len(want.Arrivals) != len(got.Arrivals) {
+		t.Fatalf("%s: %d arrivals != serial %d", label, len(got.Arrivals), len(want.Arrivals))
+	}
+	for i := range want.Arrivals {
+		if want.Arrivals[i] != got.Arrivals[i] {
+			t.Fatalf("%s: arrival %d %+v != serial %+v", label, i, got.Arrivals[i], want.Arrivals[i])
+		}
+	}
+	wp, gp := want.Profile.Points(), got.Profile.Points()
+	if len(wp) != len(gp) {
+		t.Fatalf("%s: %d profile points != serial %d", label, len(gp), len(wp))
+	}
+	for i := range wp {
+		if wp[i] != gp[i] {
+			t.Fatalf("%s: profile point %d %+v != serial %+v", label, i, gp[i], wp[i])
+		}
+	}
+}
+
+// TestParallelMatchesSerialFig6 checks the tentpole's determinism claim on
+// the paper's corridor: the gather-formulated parallel relaxation must be
+// bit-identical to the serial pass for any worker count.
+func TestParallelMatchesSerialFig6(t *testing.T) {
+	wf, err := QueueAwareWindows(queue.US25Params(),
+		ConstantArrivalRate(queue.VehPerHour(153)), 0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coarseUS25(wf)
+	cfg.DepartTime = 40
+	cfg.StopDwellSec = 2
+	cfg.Workers = 1
+	serial, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		c := cfg
+		c.Workers = workers
+		got, err := Optimize(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireIdenticalResults(t, serial, got, "fig6 corridor")
+	}
+}
+
+// TestParallelMatchesSerialRandomRoutes repeats the parity check on
+// randomized corridors with grades, speed zones, stop signs and signals.
+func TestParallelMatchesSerialRandomRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(774421))
+	for trial := 0; trial < 6; trial++ {
+		length := 1200 + rng.Float64()*1800
+		route, err := road.NewRoute(road.RouteConfig{
+			LengthM: length, DefaultMaxMS: 14 + rng.Float64()*6,
+			Controls: []road.Control{
+				{Kind: road.ControlStopSign, PositionM: 300 + rng.Float64()*200, Name: "s0"},
+				{Kind: road.ControlSignal, PositionM: length * 0.6,
+					Timing: road.SignalTiming{RedSec: 20 + rng.Float64()*20, GreenSec: 25 + rng.Float64()*15}, Name: "l0"},
+			},
+			SpeedZones: []road.SpeedZone{
+				{StartM: length * 0.2, EndM: length * 0.4, MinMS: 0, MaxMS: 10 + rng.Float64()*4},
+			},
+			GradeZones: []road.GradeZone{
+				{StartM: 0, EndM: length * 0.3, ThetaRad: 0.02},
+				{StartM: length * 0.5, EndM: length * 0.8, ThetaRad: -0.015},
+			},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cfg := Config{
+			Route: route, Vehicle: ev.SparkEV(),
+			DsM: 100, DvMS: 1, DtSec: 2, MaxTripSec: 900,
+			DepartTime: rng.Float64() * 60,
+			Windows:    GreenWindows(0, 1200),
+			Workers:    1,
+		}
+		serial, err := Optimize(cfg)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		par := cfg
+		par.Workers = 4
+		got, err := Optimize(par)
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		requireIdenticalResults(t, serial, got, "random route")
+	}
+}
+
+// TestOptimizeWorkersValidation rejects negative worker counts.
+func TestOptimizeWorkersValidation(t *testing.T) {
+	cfg := coarseUS25(nil)
+	cfg.Workers = -2
+	if _, err := Optimize(cfg); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+}

@@ -3,6 +3,9 @@ package dp
 import (
 	"fmt"
 	"math"
+	"runtime"
+
+	"evvo/internal/par"
 )
 
 // DepartureOption is one evaluated departure time.
@@ -24,6 +27,13 @@ type DepartureOption struct {
 // energy and a red-light wait. This extends the paper's system the way its
 // vehicular-cloud framing suggests — the cloud already knows the windows,
 // so it can advise *when* to leave, not just how to drive.
+//
+// Departures are evaluated concurrently on a bounded worker pool
+// (cfg.Workers goroutines, default runtime.GOMAXPROCS(0)); the options come
+// back in departure order and a failure reports the earliest failing
+// departure, exactly as a serial loop would. Each departure is indexed as
+// from + i·step rather than accumulated, so long sweeps stay on-grid
+// instead of drifting in floating point.
 func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("dp: sweep step %.2f s must be positive", step)
@@ -31,15 +41,29 @@ func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, err
 	if to < from {
 		return nil, fmt.Errorf("dp: sweep range [%.1f, %.1f] inverted", from, to)
 	}
-	var out []DepartureOption
-	for depart := from; depart <= to+1e-9; depart += step {
+	count := int(math.Floor((to-from)/step+1e-9)) + 1
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]DepartureOption, count)
+	err := par.ForEach(workers, count, func(i int) error {
+		depart := from + float64(i)*step
 		c := cfg
 		c.DepartTime = depart
+		// The sweep already saturates the pool; keep each DP serial so the
+		// goroutine count stays bounded by `workers` (results are identical
+		// for any worker count).
+		c.Workers = 1
 		res, err := Optimize(c)
 		if err != nil {
-			return nil, fmt.Errorf("dp: sweep at depart %.1f s: %w", depart, err)
+			return fmt.Errorf("dp: sweep at depart %.1f s: %w", depart, err)
 		}
-		out = append(out, DepartureOption{DepartTime: depart, Result: res})
+		out[i] = DepartureOption{DepartTime: depart, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,8 +3,23 @@ package dp
 import (
 	"testing"
 
+	"evvo/internal/ev"
 	"evvo/internal/queue"
+	"evvo/internal/road"
 )
+
+// tinySweepConfig is cheap enough to optimize dozens of times in a test.
+func tinySweepConfig(t *testing.T) Config {
+	t.Helper()
+	r, err := road.NewRoute(road.RouteConfig{LengthM: 1000, DefaultMaxMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Route: r, Vehicle: ev.SparkEV(),
+		DsM: 500, DvMS: 4, DtSec: 10, MaxTripSec: 300,
+	}
+}
 
 func TestSweepDeparturesValidation(t *testing.T) {
 	cfg := coarseUS25(nil)
@@ -73,6 +88,62 @@ func TestBestDepartureFallsBackWhenAllPenalized(t *testing.T) {
 	}
 	if _, err := BestDeparture(nil); err == nil {
 		t.Fatal("empty options accepted")
+	}
+}
+
+// TestSweepDeparturesStaysOnGrid is the regression test for the float-drift
+// bug: the sweep used to accumulate `depart += step`, so a fractional step
+// walked off the exact grid (and, over long horizons, could drop or add the
+// final departure). Departures must be exactly from + i·step.
+func TestSweepDeparturesStaysOnGrid(t *testing.T) {
+	cfg := tinySweepConfig(t)
+	from, to, step := 0.0, 5.0, 0.1
+	opts, err := SweepDepartures(cfg, from, to, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 51 {
+		t.Fatalf("got %d options, want 51", len(opts))
+	}
+	for i, o := range opts {
+		if want := from + float64(i)*step; o.DepartTime != want {
+			t.Fatalf("option %d departs at %v, want exactly %v (off-grid drift)", i, o.DepartTime, want)
+		}
+	}
+}
+
+// TestSweepDeparturesParallelMatchesSerial: the sweep's worker pool must
+// return the same options in the same order as a serial sweep.
+func TestSweepDeparturesParallelMatchesSerial(t *testing.T) {
+	wf, err := QueueAwareWindows(queue.US25Params(),
+		ConstantArrivalRate(queue.VehPerHour(400)), 0, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := coarseUS25(wf)
+	serialCfg.Workers = 1
+	serial, err := SweepDepartures(serialCfg, 0, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := coarseUS25(wf)
+	parCfg.Workers = 4
+	parallel, err := SweepDepartures(parCfg, 0, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("option counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.DepartTime != p.DepartTime {
+			t.Fatalf("option %d: depart %v vs %v", i, s.DepartTime, p.DepartTime)
+		}
+		if s.Result.ChargeAh != p.Result.ChargeAh || s.Result.TripSec != p.Result.TripSec ||
+			s.Result.StatesExpanded != p.Result.StatesExpanded {
+			t.Fatalf("option %d diverged: %+v vs %+v", i, s.Result, p.Result)
+		}
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 
 	"evvo/internal/dp"
+	"evvo/internal/par"
 	"evvo/internal/profile"
 	"evvo/internal/queue"
 	"evvo/internal/road"
@@ -73,6 +75,9 @@ func RunFleetStudy(fid Fidelity) (*FleetStudy, error) {
 		cfg := dpCfg
 		cfg.DepartTime = depart
 		cfg.Windows = windows
+		// The fleet fan-out below saturates the worker pool; keep each
+		// vehicle's DP serial so the goroutine count stays bounded.
+		cfg.Workers = 1
 		if extraMargin {
 			cfg.WindowMarginSec = 3
 			cfg.WindowEndMarginSec = 6
@@ -85,19 +90,26 @@ func RunFleetStudy(fid Fidelity) (*FleetStudy, error) {
 	}
 
 	for _, variant := range []string{"queue-aware", "green"} {
+		// Each vehicle's plan is independent of the rest — only the shared
+		// replay couples the fleet — so planning fans out over a bounded
+		// worker pool, order-preserving and reporting the earliest failure.
 		plans := make([]*profile.Profile, len(study.Departures))
-		for i, depart := range study.Departures {
+		planErr := par.ForEach(runtime.GOMAXPROCS(0), len(study.Departures), func(i int) error {
 			var p *profile.Profile
 			var err error
 			if variant == "queue-aware" {
-				p, err = plan(qaWindows, true, depart)
+				p, err = plan(qaWindows, true, study.Departures[i])
 			} else {
-				p, err = plan(dp.GreenWindows(0, horizon), false, depart)
+				p, err = plan(dp.GreenWindows(0, horizon), false, study.Departures[i])
 			}
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fleet %s plan %d: %w", variant, i, err)
+				return fmt.Errorf("experiments: fleet %s plan %d: %w", variant, i, err)
 			}
 			plans[i] = p
+			return nil
+		})
+		if planErr != nil {
+			return nil, planErr
 		}
 		trips, err := fleetReplay(route, study.Departures, plans, vin, qp.StraightRatio)
 		if err != nil {

@@ -1,0 +1,69 @@
+// Package par provides a minimal bounded worker pool for fanning
+// independent, index-addressed work items across goroutines. It exists so
+// the DP layer (departure sweeps) and the experiment runners (fleet
+// planning) share one tested fan-out primitive instead of hand-rolling
+// WaitGroup loops.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), fn(1), … fn(n-1) across at most workers goroutines
+// and waits for completion. Results are index-addressed by the caller
+// (each fn(i) writes only slot i of its output), so completion order does
+// not matter.
+//
+// Error semantics mirror a serial loop's early abort: the error returned
+// is the one from the lowest failing index. Once any call fails, not-yet
+// dispatched indexes may be skipped, but every index below a failing one
+// is guaranteed to have run to completion (dispatch order is monotone),
+// so the reported error is deterministic.
+//
+// workers <= 1 (or n <= 1) degenerates to a plain serial loop on the
+// calling goroutine.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 50
+		var hits [50]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestFailingIndex(t *testing.T) {
+	// Indexes 3 and 9 fail; the lowest (3) must win regardless of worker
+	// count or scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 12, func(i int) error {
+			if i == 3 || i == 9 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom at 3") {
+			t.Fatalf("workers=%d: got %v, want failure at index 3", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsEverythingBelowFailure(t *testing.T) {
+	// Everything below the failing index must have completed, matching a
+	// serial loop's semantics up to the abort point.
+	var done [20]atomic.Bool
+	fail := 13
+	err := ForEach(4, 20, func(i int) error {
+		if i == fail {
+			return errors.New("stop")
+		}
+		done[i].Store(true)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 0; i < fail; i++ {
+		if !done[i].Load() {
+			t.Fatalf("index %d below the failure was skipped", i)
+		}
+	}
+}

@@ -232,6 +232,16 @@ func (r *Route) StopSigns() []Control {
 	return out
 }
 
+// SpeedZones returns the speed zones ordered by start position. The returned
+// slice is a copy; callers may modify it freely. Consumers that discretize
+// the route (e.g. the DP's velocity-grid sizing) use the zone boundaries to
+// avoid missing zones shorter than their sampling step.
+func (r *Route) SpeedZones() []SpeedZone {
+	out := make([]SpeedZone, len(r.speeds))
+	copy(out, r.speeds)
+	return out
+}
+
 // SpeedLimits returns the (min, max) legal speeds in m/s at position pos.
 // Later-starting zones win when zones overlap.
 func (r *Route) SpeedLimits(pos float64) (minMS, maxMS float64) {

@@ -187,6 +187,24 @@ func TestSpeedLimitsZones(t *testing.T) {
 	check(999, 5, 25) // default tail
 }
 
+func TestSpeedZonesSortedAndCopied(t *testing.T) {
+	r := mustRoute(t, RouteConfig{
+		LengthM: 1000, DefaultMaxMS: 25,
+		SpeedZones: []SpeedZone{
+			{StartM: 400, EndM: 500, MinMS: 0, MaxMS: 10},
+			{StartM: 100, EndM: 300, MinMS: 0, MaxMS: 15},
+		},
+	})
+	zones := r.SpeedZones()
+	if len(zones) != 2 || zones[0].StartM != 100 || zones[1].StartM != 400 {
+		t.Fatalf("SpeedZones() = %+v, want 2 zones sorted by start", zones)
+	}
+	zones[0].MaxMS = 99 // mutate the copy
+	if again := r.SpeedZones(); again[0].MaxMS != 15 {
+		t.Fatalf("SpeedZones() returned shared state: %+v", again)
+	}
+}
+
 func TestGradeAt(t *testing.T) {
 	r := mustRoute(t, RouteConfig{
 		LengthM: 1000, DefaultMaxMS: 20,
