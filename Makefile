@@ -1,12 +1,14 @@
-# Developer / CI entry points. `make check` is the gate: vet, build, and the
+# Developer / CI entry points. `make check` is the gate: vet, build, the
 # full test suite under the race detector — the race flag exercises the DP's
-# parallel relaxation, the departure-sweep pool and the fleet planner.
+# parallel relaxation, the departure-sweep pool, the minibatch sharding and
+# the fleet planner — plus a one-iteration benchmark smoke pass so the
+# figure harness and micro-benchmarks cannot silently rot.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
-check: vet build race
+check: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,3 +25,8 @@ race:
 # Reproduction harness: every paper figure as a benchmark metric.
 bench:
 	$(GO) test -bench . -benchmem -run xxx .
+
+# One iteration of every benchmark in the module: catches benchmarks that
+# no longer compile or crash without paying for real measurements.
+bench-smoke:
+	$(GO) test -run - -bench . -benchtime 1x ./...

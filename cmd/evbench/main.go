@@ -20,7 +20,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "coarse grids and small models (quick run)")
-	workers := flag.Int("workers", 0, "cap compute parallelism (DP relaxation, fleet planning); 0 = all cores")
+	workers := flag.Int("workers", 0, "cap compute parallelism (DP relaxation, fleet planning, SAE training); 0 = all cores")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: evbench [--fast] [--workers n] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all\n")
@@ -44,7 +44,7 @@ func main() {
 	if *fast {
 		fid = experiments.FidelityFast
 	}
-	if err := run(os.Stdout, flag.Arg(0), fid); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), fid, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "evbench:", err)
 		os.Exit(1)
 	}
@@ -55,7 +55,7 @@ type renderer interface {
 	Render(io.Writer) error
 }
 
-func run(w io.Writer, fig string, fid experiments.Fidelity) error {
+func run(w io.Writer, fig string, fid experiments.Fidelity, workers int) error {
 	figs := []string{fig}
 	if fig == "all" {
 		figs = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "grade", "fleet"}
@@ -85,7 +85,9 @@ func run(w io.Writer, fig string, fid experiments.Fidelity) error {
 		case "fig3":
 			r, err = experiments.Fig3(ev.SparkEV())
 		case "fig4":
-			r, err = experiments.Fig4(fid)
+			// SAE minibatch sharding is bit-identical across worker
+			// counts, so the cap never changes the tables.
+			r, err = experiments.Fig4Workers(fid, workers)
 		case "fig5":
 			r, err = experiments.Fig5(fid)
 		case "fig6":

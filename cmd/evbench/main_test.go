@@ -12,7 +12,7 @@ func TestRunSingleFigures(t *testing.T) {
 	for _, fig := range []string{"fig3", "fig4", "fig5", "grade"} {
 		t.Run(fig, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, fig, experiments.FidelityFast); err != nil {
+			if err := run(&buf, fig, experiments.FidelityFast, 1); err != nil {
 				t.Fatal(err)
 			}
 			if buf.Len() == 0 {
@@ -25,7 +25,7 @@ func TestRunSingleFigures(t *testing.T) {
 func TestRunComparisonFiguresShareOneRun(t *testing.T) {
 	var buf bytes.Buffer
 	// fig6+fig7+fig8 via "all" exercises the lazy shared comparison.
-	if err := run(&buf, "all", experiments.FidelityFast); err != nil {
+	if err := run(&buf, "all", experiments.FidelityFast, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +37,7 @@ func TestRunComparisonFiguresShareOneRun(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "fig99", experiments.FidelityFast); err == nil {
+	if err := run(&bytes.Buffer{}, "fig99", experiments.FidelityFast, 1); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }

@@ -1,0 +1,108 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"evvo/internal/dp"
+)
+
+// TestCacheKeyFloorBucketing pins the floor semantics of depart-time
+// bucketing: truncation toward zero would fold the buckets on either side
+// of t = 0 into one key.
+func TestCacheKeyFloorBucketing(t *testing.T) {
+	s, err := NewServer(ServerConfig{DPTemplate: coarseDP(), CacheDepartBucketSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(depart float64) string {
+		return s.cacheKey(Request{Route: "us25", Variant: VariantQueueAware, DepartTime: depart})
+	}
+	if key(2.5) == key(-2.5) {
+		t.Fatalf("buckets either side of zero collide: %q", key(2.5))
+	}
+	if key(-2.5) != key(-0.1) {
+		t.Fatalf("bucket [-5, 0) split: %q vs %q", key(-2.5), key(-0.1))
+	}
+	if key(0) != key(4.9) || key(0) == key(5) {
+		t.Fatalf("bucket [0, 5) wrong: %q %q %q", key(0), key(4.9), key(5))
+	}
+}
+
+// TestOptimizeCoalescesConcurrentRequests checks that N identical
+// concurrent optimize requests run the DP solver exactly once: one leader
+// computes, the rest wait on the in-flight call and report Cached.
+func TestOptimizeCoalescesConcurrentRequests(t *testing.T) {
+	var calls int64
+	release := make(chan struct{})
+	old := optimizeDP
+	optimizeDP = func(cfg dp.Config) (*dp.Result, error) {
+		atomic.AddInt64(&calls, 1)
+		<-release // hold the leader until every follower has arrived
+		return old(cfg)
+	}
+	defer func() { optimizeDP = old }()
+
+	s, err := NewServer(ServerConfig{DPTemplate: coarseDP()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(Request{Route: "us25", DepartTime: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	started := make(chan struct{}, n)
+	responses := make([]Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(body))
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			errs[i] = json.Unmarshal(rec.Body.Bytes(), &responses[i])
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Fatalf("dp.Optimize ran %d times, want 1", got)
+	}
+	fresh := 0
+	for i := range responses {
+		if !responses[i].Cached {
+			fresh++
+		}
+		if responses[i].TripSec != responses[0].TripSec ||
+			responses[i].ChargeAh != responses[0].ChargeAh {
+			t.Fatalf("response %d differs from leader", i)
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("%d responses claim a fresh computation, want 1", fresh)
+	}
+}

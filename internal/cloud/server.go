@@ -14,11 +14,14 @@
 // Identical requests within the same departure bucket are served from an
 // in-memory cache: queue predictions only change at the resolution of the
 // signal cycle, so per-vehicle recomputation would be wasted work.
+// Concurrent identical requests are additionally coalesced so a thundering
+// herd runs the optimizer once, not once per vehicle.
 package cloud
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -112,13 +115,26 @@ type ServerConfig struct {
 // Server is the vehicular-cloud HTTP handler. Create with NewServer and
 // mount via Handler.
 type Server struct {
-	cfg    ServerConfig
-	mu     sync.Mutex
-	routes map[string]*road.Route
-	cache  map[string]*Response
-	order  []string // FIFO eviction order
-	stats  Stats
+	cfg      ServerConfig
+	mu       sync.Mutex
+	routes   map[string]*road.Route
+	cache    map[string]*Response
+	order    []string // FIFO eviction order
+	inflight map[string]*inflightCall
+	stats    Stats
 }
+
+// inflightCall coalesces concurrent optimize requests for one cache key:
+// the first arrival (the leader) runs the DP, later arrivals wait on done
+// and share the result.
+type inflightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// optimizeDP indirects dp.Optimize so tests can count or stub solver runs.
+var optimizeDP = dp.Optimize
 
 // NewServer builds a Server with the US-25 route pre-registered.
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -148,9 +164,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.MaxCacheEntries = 1024
 	}
 	s := &Server{
-		cfg:    cfg,
-		routes: map[string]*road.Route{"us25": road.US25()},
-		cache:  make(map[string]*Response),
+		cfg:      cfg,
+		routes:   map[string]*road.Route{"us25": road.US25()},
+		cache:    make(map[string]*Response),
+		inflight: make(map[string]*inflightCall),
 	}
 	return s, nil
 }
@@ -250,28 +267,54 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &cached)
 		return
 	}
+	if c, ok := s.inflight[key]; ok {
+		// A twin request is already computing this key; wait for it
+		// instead of running the DP again.
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, c.err.Error())
+			return
+		}
+		s.mu.Lock()
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		cached := *c.resp
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, &cached)
+		return
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = c
 	s.mu.Unlock()
 
 	resp, err := s.optimize(route, req)
+	c.resp, c.err = resp, err
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		if len(s.cache) >= s.cfg.MaxCacheEntries && len(s.order) > 0 {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.cache[key] = resp
+		s.order = append(s.order, key)
+	}
+	s.mu.Unlock()
+	close(c.done)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	s.mu.Lock()
-	if len(s.cache) >= s.cfg.MaxCacheEntries && len(s.order) > 0 {
-		delete(s.cache, s.order[0])
-		s.order = s.order[1:]
-	}
-	s.cache[key] = resp
-	s.order = append(s.order, key)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) cacheKey(req Request) string {
 	bucket := 0.0
 	if s.cfg.CacheDepartBucketSec > 0 {
-		bucket = float64(int(req.DepartTime / s.cfg.CacheDepartBucketSec))
+		// Floor, not int-truncation: truncation would fold buckets -1 and
+		// 0 together around zero (and overflows int for huge times).
+		bucket = math.Floor(req.DepartTime / s.cfg.CacheDepartBucketSec)
 	}
 	return fmt.Sprintf("%s|%s|%g|%g", req.Route, req.Variant, bucket, req.ArrivalRateVehPerHour)
 }
@@ -306,7 +349,7 @@ func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
 		cfg.Windows = nil
 	}
 
-	res, err := dp.Optimize(cfg)
+	res, err := optimizeDP(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -335,3 +335,26 @@ func TestComparisonWearOrdering(t *testing.T) {
 		t.Fatalf("fast wear %v not above proposed %v", fast.WearMilliCycles, prop.WearMilliCycles)
 	}
 }
+
+// TestFig4FastMREPinned pins the fast-fidelity Fig. 4 metrics to their
+// historical values: the batched neural engine and any worker count must
+// reproduce the pre-batching per-sample results bit for bit, so a drift
+// here means an accumulation-order regression, not tuning noise.
+func TestFig4FastMREPinned(t *testing.T) {
+	const (
+		wantMRE  = 0.19489190188891936
+		wantRMSE = 32.648148870083055
+	)
+	for _, workers := range []int{1, 0} {
+		r, err := Fig4Workers(FidelityFast, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.OverallMRE-wantMRE) > 1e-15 {
+			t.Fatalf("workers=%d: MRE %.17g, want %.17g", workers, r.OverallMRE, wantMRE)
+		}
+		if math.Abs(r.OverallRMSE-wantRMSE) > 1e-12 {
+			t.Fatalf("workers=%d: RMSE %.17g, want %.17g", workers, r.OverallRMSE, wantRMSE)
+		}
+	}
+}

@@ -22,6 +22,13 @@ type Fig4Result struct {
 // plus a one-week test, mirroring Section III-A-2), trains the SAE
 // predictor, and scores it per day.
 func Fig4(fid Fidelity) (*Fig4Result, error) {
+	return Fig4Workers(fid, 0)
+}
+
+// Fig4Workers is Fig4 with an explicit cap on SAE training parallelism
+// (0 = all cores). The result is bit-identical for any worker count; the
+// knob only affects throughput.
+func Fig4Workers(fid Fidelity, workers int) (*Fig4Result, error) {
 	if err := fid.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,6 +44,7 @@ func Fig4(fid Fidelity) (*Fig4Result, error) {
 			PretrainEpochs: 5, FinetuneEpochs: 40, Seed: 7,
 		}
 	}
+	pcfg.Workers = workers
 	all, err := traffic.Synthesize(traffic.SyntheticConfig{Weeks: weeks, Seed: 20160301})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,318 @@
+package neural
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// legacyTrain is a frozen copy of the pre-batching per-sample Train loop
+// (and its backprop), kept here as the bit-level reference the batched
+// engine must reproduce exactly.
+func legacyTrain(n *Network, x, y [][]float64, cfg TrainConfig) float64 {
+	g := newGrads(n)
+	vel := newGrads(n)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g.zero()
+			for _, s := range idx[start:end] {
+				epochLoss += legacyBackprop(n, x[s], y[s], g)
+			}
+			scale := cfg.LR / float64(end-start)
+			for li, l := range n.Layers {
+				for wi := range l.W {
+					v := cfg.Momentum*vel.dW[li][wi] - scale*(g.dW[li][wi]+cfg.L2*l.W[wi])
+					vel.dW[li][wi] = v
+					l.W[wi] += v
+				}
+				for bi := range l.B {
+					v := cfg.Momentum*vel.dB[li][bi] - scale*g.dB[li][bi]
+					vel.dB[li][bi] = v
+					l.B[bi] += v
+				}
+			}
+		}
+		epochLoss /= float64(len(x))
+	}
+	return epochLoss
+}
+
+func legacyBackprop(n *Network, x, target []float64, g *grads) float64 {
+	acts := make([][]float64, len(n.Layers)+1)
+	acts[0] = x
+	for i, l := range n.Layers {
+		acts[i+1] = l.Forward(acts[i])
+	}
+	out := acts[len(acts)-1]
+	delta := make([]float64, len(out))
+	loss := 0.0
+	last := n.Layers[len(n.Layers)-1]
+	for o := range out {
+		e := out[o] - target[o]
+		loss += 0.5 * e * e
+		delta[o] = e * last.Act.derivFromOutput(out[o])
+	}
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		in := acts[li]
+		for o := 0; o < l.Out; o++ {
+			g.dB[li][o] += delta[o]
+			row := g.dW[li][o*l.In : (o+1)*l.In]
+			for i, xi := range in {
+				row[i] += delta[o] * xi
+			}
+		}
+		if li == 0 {
+			break
+		}
+		prev := make([]float64, l.In)
+		below := n.Layers[li-1]
+		for i := 0; i < l.In; i++ {
+			sum := 0.0
+			for o := 0; o < l.Out; o++ {
+				sum += l.W[o*l.In+i] * delta[o]
+			}
+			prev[i] = sum * below.Act.derivFromOutput(in[i])
+		}
+		delta = prev
+	}
+	return loss
+}
+
+func randomDataset(rng *rand.Rand, n, in, out int) (x, y [][]float64) {
+	for s := 0; s < n; s++ {
+		xs := make([]float64, in)
+		ys := make([]float64, out)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for i := range ys {
+			ys[i] = rng.NormFloat64()
+		}
+		x = append(x, xs)
+		y = append(y, ys)
+	}
+	return x, y
+}
+
+func mustNetwork(t testing.TB, sizes []int, acts []Activation, seed int64) *Network {
+	t.Helper()
+	n, err := NewNetwork(sizes, acts, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func requireSameWeights(t *testing.T, a, b *Network, label string) {
+	t.Helper()
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if math.Float64bits(a.Layers[li].W[i]) != math.Float64bits(b.Layers[li].W[i]) {
+				t.Fatalf("%s: layer %d W[%d]: %x vs %x", label, li, i,
+					math.Float64bits(a.Layers[li].W[i]), math.Float64bits(b.Layers[li].W[i]))
+			}
+		}
+		for i := range a.Layers[li].B {
+			if math.Float64bits(a.Layers[li].B[i]) != math.Float64bits(b.Layers[li].B[i]) {
+				t.Fatalf("%s: layer %d B[%d]: %x vs %x", label, li, i,
+					math.Float64bits(a.Layers[li].B[i]), math.Float64bits(b.Layers[li].B[i]))
+			}
+		}
+	}
+}
+
+// TestTrainMatchesLegacyReference drives the batched engine and the frozen
+// per-sample loop from identical initial weights and RNG streams and
+// requires bit-identical weights afterwards — including L2 decay, odd
+// final batches, and every activation kind on the hidden path.
+func TestTrainMatchesLegacyReference(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int
+		acts  []Activation
+		cfg   TrainConfig
+		n     int
+	}{
+		{"sigmoid", []int{7, 13, 3}, []Activation{ActSigmoid, ActIdentity},
+			TrainConfig{Epochs: 4, BatchSize: 8, LR: 0.05}, 37},
+		{"tanh-l2", []int{5, 9, 2}, []Activation{ActTanh, ActIdentity},
+			TrainConfig{Epochs: 3, BatchSize: 4, LR: 0.1, L2: 1e-3}, 21},
+		{"relu-deep", []int{6, 11, 8, 4}, []Activation{ActReLU, ActSigmoid, ActIdentity},
+			TrainConfig{Epochs: 3, BatchSize: 5, LR: 0.02}, 23},
+		{"sigmoid-head", []int{4, 6, 4}, []Activation{ActTanh, ActSigmoid},
+			TrainConfig{Epochs: 2, BatchSize: 16, LR: 0.05, L2: 1e-4}, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, y := randomDataset(rand.New(rand.NewSource(11)), tc.n, tc.sizes[0], tc.sizes[len(tc.sizes)-1])
+			ref := mustNetwork(t, tc.sizes, tc.acts, 42)
+			got := mustNetwork(t, tc.sizes, tc.acts, 42)
+
+			refCfg := tc.cfg
+			refCfg.applyDefaults()
+			refCfg.Rng = rand.New(rand.NewSource(99))
+			refLoss := legacyTrain(ref, x, y, refCfg)
+
+			gotCfg := tc.cfg
+			gotCfg.Rng = rand.New(rand.NewSource(99))
+			gotCfg.Workers = 1
+			gotLoss, err := got.Train(x, y, gotCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(refLoss) != math.Float64bits(gotLoss) {
+				t.Fatalf("loss %x (batched) vs %x (legacy)", math.Float64bits(gotLoss), math.Float64bits(refLoss))
+			}
+			requireSameWeights(t, ref, got, "legacy vs batched")
+		})
+	}
+}
+
+// TestTrainWorkersBitIdentical trains the same network with different
+// worker counts on a problem large enough to pass the parallelism
+// threshold, and requires bit-identical results (the element-ownership
+// sharding argument of DESIGN.md §7).
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	sizes := []int{64, 128, 16}
+	acts := []Activation{ActSigmoid, ActIdentity}
+	x, y := randomDataset(rand.New(rand.NewSource(12)), 96, 64, 16)
+	// batch 64 × 64 in × 128 out = 524288 flops > minParFlops, so the
+	// multi-worker runs really do shard.
+	if 64*sizes[0]*sizes[1] <= minParFlops {
+		t.Fatalf("test network too small to exercise sharding")
+	}
+	var base *Network
+	var baseLoss float64
+	for _, workers := range []int{1, 2, 8} {
+		n := mustNetwork(t, sizes, acts, 5)
+		loss, err := n.Train(x, y, TrainConfig{
+			Epochs: 2, BatchSize: 64, LR: 0.05, Workers: workers,
+			Rng: rand.New(rand.NewSource(3)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, baseLoss = n, loss
+			continue
+		}
+		if math.Float64bits(baseLoss) != math.Float64bits(loss) {
+			t.Fatalf("workers=%d loss %x, workers=1 loss %x", workers,
+				math.Float64bits(loss), math.Float64bits(baseLoss))
+		}
+		requireSameWeights(t, base, n, "workers")
+	}
+}
+
+// TestSerializeRoundTripDeterminism saves a trained network, loads it back,
+// and requires the copy to be bit-identical in weights and outputs.
+func TestSerializeRoundTripDeterminism(t *testing.T) {
+	n := mustNetwork(t, []int{6, 10, 2}, []Activation{ActSigmoid, ActIdentity}, 8)
+	x, y := randomDataset(rand.New(rand.NewSource(13)), 24, 6, 2)
+	if _, err := n.Train(x, y, TrainConfig{Epochs: 3, Rng: rand.New(rand.NewSource(1)), Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameWeights(t, n, loaded, "round trip")
+	probe := x[7]
+	a, b := n.Forward(probe), loaded.Forward(probe)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("forward mismatch at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrainEpochAllocs verifies the zero-allocation guarantee of the
+// steady-state epoch loop at Workers == 1.
+func TestTrainEpochAllocs(t *testing.T) {
+	n := mustNetwork(t, []int{8, 16, 4}, []Activation{ActSigmoid, ActIdentity}, 4)
+	x, y := randomDataset(rand.New(rand.NewSource(14)), 40, 8, 4)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.05, Workers: 1,
+		Rng: rand.New(rand.NewSource(2))}
+	cfg.applyDefaults()
+	ts := newTrainState(n, cfg.BatchSize, cfg.Workers)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	swap := func(i, j int) { idx[i], idx[j] = idx[j], idx[i] }
+	ts.runEpoch(x, y, idx, swap, &cfg) // warm-up
+	if allocs := testing.AllocsPerRun(10, func() {
+		ts.runEpoch(x, y, idx, swap, &cfg)
+	}); allocs != 0 {
+		t.Fatalf("epoch loop allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestLossAllocs verifies Loss runs allocation-free once its forward
+// scratch exists.
+func TestLossAllocs(t *testing.T) {
+	n := mustNetwork(t, []int{8, 16, 4}, []Activation{ActSigmoid, ActIdentity}, 4)
+	x, y := randomDataset(rand.New(rand.NewSource(15)), 32, 8, 4)
+	n.Loss(x, y) // warm-up builds the scratch
+	if allocs := testing.AllocsPerRun(10, func() {
+		n.Loss(x, y)
+	}); allocs != 0 {
+		t.Fatalf("Loss allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkDenseForwardBatch measures the batched forward pass of one
+// 64→64 sigmoid layer over a 64-row minibatch.
+func BenchmarkDenseForwardBatch(b *testing.B) {
+	n := mustNetwork(b, []int{64, 64}, []Activation{ActSigmoid}, 1)
+	ts := newTrainState(n, 64, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := range ts.xb.Data {
+		ts.xb.Data[i] = rng.NormFloat64()
+	}
+	ts.b = 64
+	packTranspose(ts.wt[0], n.Layers[0].W, 64, 64)
+	b.SetBytes(64 * 64 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.forwardRows(0, 0, 64)
+	}
+}
+
+// BenchmarkSAETrainEpoch measures one steady-state supervised epoch of an
+// SAE-shaped network (48-wide window input, two sigmoid encoders, linear
+// head) over a synthetic dataset.
+func BenchmarkSAETrainEpoch(b *testing.B) {
+	n := mustNetwork(b, []int{48, 32, 16, 1}, []Activation{ActSigmoid, ActSigmoid, ActIdentity}, 3)
+	x, y := randomDataset(rand.New(rand.NewSource(16)), 512, 48, 1)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.05, Workers: 1,
+		Rng: rand.New(rand.NewSource(4))}
+	cfg.applyDefaults()
+	ts := newTrainState(n, cfg.BatchSize, cfg.Workers)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	swap := func(i, j int) { idx[i], idx[j] = idx[j], idx[i] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.runEpoch(x, y, idx, swap, &cfg)
+	}
+}

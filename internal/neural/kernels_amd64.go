@@ -1,0 +1,69 @@
+//go:build amd64
+
+package neural
+
+// CPU feature probes (kernels_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// axpyMatAsm is the AVX2 form of axpyMatGo: 16/8/4-wide column chunks with
+// the k loop innermost. Multiplies and adds are separate instructions
+// (VMULPD+VADDPD, never FMA) so each lane performs the exact rounding
+// sequence of the scalar reference.
+//
+//go:noescape
+func axpyMatAsm(dst, a, b []float64, m int)
+
+// gemmAccAsm is the AVX2 form of the portable loop in gemmAcc: row pairs
+// × 16/8/4/1-wide column chunks, k innermost, strided a reads, separate
+// VMULPD/VADDPD (no FMA).
+//
+//go:noescape
+func gemmAccAsm(dst, a, b []float64, rows, k, m, dstStride, aRowStride, aElemStride int)
+
+// updateParamsAsm is the AVX2 form of updateParamsGo (same per-element
+// expression order, no FMA).
+//
+//go:noescape
+func updateParamsAsm(w, g, vel []float64, mom, scale, l2 float64)
+
+// sigmoidBlocksAsm processes src in 4-lane blocks, writing σ(src[i]) to
+// dst, and returns how many elements it handled (a multiple of 4). It stops
+// early — without writing the offending block — when any lane of a block
+// falls outside the fast-path domain [-709, 708] (for z; i.e. -z outside
+// [-708, 709]), including NaN/±Inf; the caller finishes that block with
+// sigmoidScalar and calls back in. Within the domain it is a 4-lane
+// transcription of the runtime's archExp FMA branch (math/exp_amd64.s), so
+// every lane is bit-identical to 1/(1+math.Exp(-z)).
+//
+//go:noescape
+func sigmoidBlocksAsm(dst, src []float64) int
+
+var useAsmKernels, useAsmSigmoid = detectKernels()
+
+func detectKernels() (kernels, sigmoid bool) {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false, false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false, false
+	}
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 {
+		return false, false // OS does not preserve YMM state
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	if b7&(1<<5) == 0 { // AVX2
+		return false, false
+	}
+	// The vector sigmoid replicates math.Exp's FMA branch, which the
+	// runtime selects iff AVX && FMA ($GOROOT/src/math/exp_amd64.go); only
+	// under the same condition do the two agree bit-for-bit.
+	return true, c1&fma != 0
+}

@@ -1,0 +1,703 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernels. Contract (see mat.go): per output element, floating-point
+// operations happen in the exact order of the portable Go reference.
+// axpyMat/updateParams therefore use separate VMULPD/VADDPD (an FMA would
+// skip the intermediate rounding the reference performs); sigmoidBlocks
+// instead MUST use FMA, because it transcribes the runtime's archExp FMA
+// branch lane by lane.
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyMatAsm(dst, a, b []float64, m int)
+//
+// dst[j] += sum_k a[k]*b[k*m+j], k ascending per element. Columns are
+// tiled 16/8/4 wide with the k loop innermost; the per-element operation
+// sequence is identical to the k-outer Go kernel.
+TEXT ·axpyMatAsm(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), R8
+	MOVQ b_base+48(FP), DX
+	MOVQ m+72(FP), R9
+	TESTQ R8, R8
+	JZ   axdone
+	MOVQ R9, R13
+	SHLQ $3, R13          // b row stride in bytes
+	XORQ R10, R10         // j
+
+axj16:
+	MOVQ R10, AX
+	ADDQ $16, AX
+	CMPQ AX, R9
+	JGT  axj8
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	VMOVUPD 64(R14), Y2
+	VMOVUPD 96(R14), Y3
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+axk16:
+	VBROADCASTSD (BX), Y4
+	VMULPD (R11), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(R11), Y4, Y5
+	VADDPD Y5, Y1, Y1
+	VMULPD 64(R11), Y4, Y5
+	VADDPD Y5, Y2, Y2
+	VMULPD 96(R11), Y4, Y5
+	VADDPD Y5, Y3, Y3
+	ADDQ $8, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  axk16
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	VMOVUPD Y2, 64(R14)
+	VMOVUPD Y3, 96(R14)
+	ADDQ $16, R10
+	JMP  axj16
+
+axj8:
+	MOVQ R10, AX
+	ADDQ $8, AX
+	CMPQ AX, R9
+	JGT  axj4
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+axk8:
+	VBROADCASTSD (BX), Y4
+	VMULPD (R11), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(R11), Y4, Y5
+	VADDPD Y5, Y1, Y1
+	ADDQ $8, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  axk8
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	ADDQ $8, R10
+
+axj4:
+	MOVQ R10, AX
+	ADDQ $4, AX
+	CMPQ AX, R9
+	JGT  axjscalar
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+axk4:
+	VBROADCASTSD (BX), Y4
+	VMULPD (R11), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  axk4
+	VMOVUPD Y0, (R14)
+	ADDQ $4, R10
+
+axjscalar:
+	CMPQ R10, R9
+	JGE  axdone
+	MOVSD (DI)(R10*8), X0
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+axk1:
+	MOVSD (BX), X1
+	MULSD (R11), X1
+	ADDSD X1, X0
+	ADDQ $8, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  axk1
+	MOVSD X0, (DI)(R10*8)
+	INCQ R10
+	JMP  axjscalar
+
+axdone:
+	VZEROUPPER
+	RET
+
+// func gemmAccAsm(dst, a, b []float64, rows, k, m, dstStride, aRowStride, aElemStride int)
+//
+// dst[r*dstStride+j] += sum_k a[r*aRowStride+k*aElemStride]*b[k*m+j].
+// Row pairs are processed together so each b chunk load feeds two
+// accumulator sets; columns are tiled 16/8/4/1. Per element the k loop is
+// ascending and uses separate VMULPD/VADDPD, identical to the Go kernel.
+//
+// Register map: DI=dst row0, SI=a row0, DX=b, CX=rows left, R8=k, R9=m,
+// R13=m*8, R15=aElemStride*8; per-chunk scratch R10=j, R11=b ptr, R12=k
+// counter, R14=dst chunk ptr, BX=a row0 ptr, AX=a row1 ptr / stride tmp.
+TEXT ·gemmAccAsm(SB), NOSPLIT, $0-120
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), DX
+	MOVQ rows+72(FP), CX
+	MOVQ k+80(FP), R8
+	MOVQ m+88(FP), R9
+	MOVQ R9, R13
+	SHLQ $3, R13
+	MOVQ aElemStride+112(FP), R15
+	SHLQ $3, R15
+	// Y12 = lane mask for the m%4 column tail: the first m%4 qword lanes
+	// active. Inactive lanes read as +0 (products stay 0) and are never
+	// stored, so the tail needs no scalar loop.
+	MOVQ R9, AX
+	ANDQ $3, AX
+	JZ   gpair
+	SHLQ $3, AX
+	LEAQ gemmmask<>+32(SB), BX
+	SUBQ AX, BX
+	VMOVUPD (BX), Y12
+
+gpair:
+	CMPQ CX, $2
+	JLT  gsingle
+	XORQ R10, R10
+
+pj16:
+	MOVQ R10, AX
+	ADDQ $16, AX
+	CMPQ AX, R9
+	JGT  pj8
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	VMOVUPD 64(R14), Y2
+	VMOVUPD 96(R14), Y3
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD (R14)(AX*1), Y4
+	VMOVUPD 32(R14)(AX*1), Y5
+	VMOVUPD 64(R14)(AX*1), Y6
+	VMOVUPD 96(R14)(AX*1), Y7
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ aRowStride+104(FP), AX
+	LEAQ (SI)(AX*8), AX
+	MOVQ R8, R12
+pk16:
+	VBROADCASTSD (BX), Y8
+	VBROADCASTSD (AX), Y9
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y4, Y4
+	VMOVUPD 32(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y1, Y1
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y5, Y5
+	VMOVUPD 64(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y2, Y2
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y6, Y6
+	VMOVUPD 96(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y3, Y3
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y7, Y7
+	ADDQ R15, BX
+	ADDQ R15, AX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  pk16
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	VMOVUPD Y2, 64(R14)
+	VMOVUPD Y3, 96(R14)
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD Y4, (R14)(AX*1)
+	VMOVUPD Y5, 32(R14)(AX*1)
+	VMOVUPD Y6, 64(R14)(AX*1)
+	VMOVUPD Y7, 96(R14)(AX*1)
+	ADDQ $16, R10
+	JMP  pj16
+
+pj8:
+	MOVQ R10, AX
+	ADDQ $8, AX
+	CMPQ AX, R9
+	JGT  pj4
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD (R14)(AX*1), Y4
+	VMOVUPD 32(R14)(AX*1), Y5
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ aRowStride+104(FP), AX
+	LEAQ (SI)(AX*8), AX
+	MOVQ R8, R12
+pk8:
+	VBROADCASTSD (BX), Y8
+	VBROADCASTSD (AX), Y9
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y4, Y4
+	VMOVUPD 32(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y1, Y1
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y5, Y5
+	ADDQ R15, BX
+	ADDQ R15, AX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  pk8
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD Y4, (R14)(AX*1)
+	VMOVUPD Y5, 32(R14)(AX*1)
+	ADDQ $8, R10
+
+pj4:
+	MOVQ R10, AX
+	ADDQ $4, AX
+	CMPQ AX, R9
+	JGT  pjmask
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD (R14)(AX*1), Y4
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ aRowStride+104(FP), AX
+	LEAQ (SI)(AX*8), AX
+	MOVQ R8, R12
+pk4:
+	VBROADCASTSD (BX), Y8
+	VBROADCASTSD (AX), Y9
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y4, Y4
+	ADDQ R15, BX
+	ADDQ R15, AX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  pk4
+	VMOVUPD Y0, (R14)
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMOVUPD Y4, (R14)(AX*1)
+	ADDQ $4, R10
+
+	// masked tail: remaining m%4 columns, both rows, one k loop
+pjmask:
+	CMPQ R10, R9
+	JGE  pnext
+	LEAQ (DI)(R10*8), R14
+	VMASKMOVPD (R14), Y12, Y0
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMASKMOVPD (R14)(AX*1), Y12, Y4
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ aRowStride+104(FP), AX
+	LEAQ (SI)(AX*8), AX
+	MOVQ R8, R12
+pkm:
+	VBROADCASTSD (BX), Y8
+	VBROADCASTSD (AX), Y9
+	VMASKMOVPD (R11), Y12, Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y10, Y9, Y11
+	VADDPD Y11, Y4, Y4
+	ADDQ R15, BX
+	ADDQ R15, AX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  pkm
+	VMASKMOVPD Y0, Y12, (R14)
+	MOVQ dstStride+96(FP), AX
+	SHLQ $3, AX
+	VMASKMOVPD Y4, Y12, (R14)(AX*1)
+
+pnext:
+	MOVQ dstStride+96(FP), AX
+	SHLQ $4, AX               // 2 rows * stride * 8 bytes
+	ADDQ AX, DI
+	MOVQ aRowStride+104(FP), AX
+	SHLQ $4, AX
+	ADDQ AX, SI
+	SUBQ $2, CX
+	JMP  gpair
+
+gsingle:
+	TESTQ CX, CX
+	JZ   gdone
+	XORQ R10, R10
+
+sj16:
+	MOVQ R10, AX
+	ADDQ $16, AX
+	CMPQ AX, R9
+	JGT  sj8
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	VMOVUPD 64(R14), Y2
+	VMOVUPD 96(R14), Y3
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+sk16:
+	VBROADCASTSD (BX), Y8
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMOVUPD 32(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y1, Y1
+	VMOVUPD 64(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y2, Y2
+	VMOVUPD 96(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y3, Y3
+	ADDQ R15, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  sk16
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	VMOVUPD Y2, 64(R14)
+	VMOVUPD Y3, 96(R14)
+	ADDQ $16, R10
+	JMP  sj16
+
+sj8:
+	MOVQ R10, AX
+	ADDQ $8, AX
+	CMPQ AX, R9
+	JGT  sj4
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	VMOVUPD 32(R14), Y1
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+sk8:
+	VBROADCASTSD (BX), Y8
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMOVUPD 32(R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y1, Y1
+	ADDQ R15, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  sk8
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, 32(R14)
+	ADDQ $8, R10
+
+sj4:
+	MOVQ R10, AX
+	ADDQ $4, AX
+	CMPQ AX, R9
+	JGT  sjmask
+	LEAQ (DI)(R10*8), R14
+	VMOVUPD (R14), Y0
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+sk4:
+	VBROADCASTSD (BX), Y8
+	VMOVUPD (R11), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	ADDQ R15, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  sk4
+	VMOVUPD Y0, (R14)
+	ADDQ $4, R10
+
+	// masked tail, single row
+sjmask:
+	CMPQ R10, R9
+	JGE  gdone
+	LEAQ (DI)(R10*8), R14
+	VMASKMOVPD (R14), Y12, Y0
+	LEAQ (DX)(R10*8), R11
+	MOVQ SI, BX
+	MOVQ R8, R12
+skm:
+	VBROADCASTSD (BX), Y8
+	VMASKMOVPD (R11), Y12, Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	ADDQ R15, BX
+	ADDQ R13, R11
+	DECQ R12
+	JNZ  skm
+	VMASKMOVPD Y0, Y12, (R14)
+
+gdone:
+	VZEROUPPER
+	RET
+
+// func updateParamsAsm(w, g, vel []float64, mom, scale, l2 float64)
+//
+// Per element: v = mom*vel[i] - scale*(g[i]+l2*w[i]); vel[i] = v; w[i] += v
+// — the exact expression order of updateParamsGo, 4 lanes at a time.
+TEXT ·updateParamsAsm(SB), NOSPLIT, $0-96
+	MOVQ w_base+0(FP), DI
+	MOVQ w_len+8(FP), R8
+	MOVQ g_base+24(FP), SI
+	MOVQ vel_base+48(FP), DX
+	VBROADCASTSD mom+72(FP), Y12
+	VBROADCASTSD scale+80(FP), Y13
+	VBROADCASTSD l2+88(FP), Y14
+	XORQ R10, R10
+
+up4:
+	MOVQ R10, AX
+	ADDQ $4, AX
+	CMPQ AX, R8
+	JGT  upscalar
+	VMOVUPD (DI)(R10*8), Y0   // w
+	VMOVUPD (SI)(R10*8), Y1   // g
+	VMOVUPD (DX)(R10*8), Y2   // vel
+	VMULPD Y0, Y14, Y3        // l2*w
+	VADDPD Y3, Y1, Y3         // g + l2*w
+	VMULPD Y3, Y13, Y3        // scale*(g + l2*w)
+	VMULPD Y2, Y12, Y2        // mom*vel
+	VSUBPD Y3, Y2, Y2         // v
+	VMOVUPD Y2, (DX)(R10*8)
+	VADDPD Y2, Y0, Y0         // w + v
+	VMOVUPD Y0, (DI)(R10*8)
+	ADDQ $4, R10
+	JMP  up4
+
+upscalar:
+	CMPQ R10, R8
+	JGE  updone
+	MOVSD (DI)(R10*8), X0
+	MOVSD (SI)(R10*8), X1
+	MOVSD (DX)(R10*8), X2
+	MOVSD l2+88(FP), X3
+	MULSD X0, X3              // l2*w
+	ADDSD X3, X1              // g + l2*w
+	MULSD scale+80(FP), X1
+	MULSD mom+72(FP), X2
+	SUBSD X1, X2              // v
+	MOVSD X2, (DX)(R10*8)
+	ADDSD X2, X0
+	MOVSD X0, (DI)(R10*8)
+	INCQ R10
+	JMP  upscalar
+
+updone:
+	VZEROUPPER
+	RET
+
+// Sliding-window tail masks for gemmAccAsm: reading 32 bytes at offset
+// 32-8*rem yields rem all-ones lanes followed by zeros.
+DATA gemmmask<>+0(SB)/8, $-1
+DATA gemmmask<>+8(SB)/8, $-1
+DATA gemmmask<>+16(SB)/8, $-1
+DATA gemmmask<>+24(SB)/8, $-1
+DATA gemmmask<>+32(SB)/8, $0
+DATA gemmmask<>+40(SB)/8, $0
+DATA gemmmask<>+48(SB)/8, $0
+DATA gemmmask<>+56(SB)/8, $0
+GLOBL gemmmask<>+0(SB), RODATA, $64
+
+// Constants for the sigmoid kernel, broadcast to 4 lanes. Polynomial
+// coefficients and the argument-reduction constants are those of the
+// runtime's archExp (math/exp_amd64.s, SLEEF-derived).
+DATA sigk<>+0(SB)/8, $0x8000000000000000   // sign mask
+DATA sigk<>+8(SB)/8, $0x8000000000000000
+DATA sigk<>+16(SB)/8, $0x8000000000000000
+DATA sigk<>+24(SB)/8, $0x8000000000000000
+DATA sigk<>+32(SB)/8, $-708.0              // fast-path lower bound for -z
+DATA sigk<>+40(SB)/8, $-708.0
+DATA sigk<>+48(SB)/8, $-708.0
+DATA sigk<>+56(SB)/8, $-708.0
+DATA sigk<>+64(SB)/8, $709.0               // fast-path upper bound for -z
+DATA sigk<>+72(SB)/8, $709.0
+DATA sigk<>+80(SB)/8, $709.0
+DATA sigk<>+88(SB)/8, $709.0
+DATA sigk<>+96(SB)/8, $1.4426950408889634073599246810018920 // log2(e)
+DATA sigk<>+104(SB)/8, $1.4426950408889634073599246810018920
+DATA sigk<>+112(SB)/8, $1.4426950408889634073599246810018920
+DATA sigk<>+120(SB)/8, $1.4426950408889634073599246810018920
+DATA sigk<>+128(SB)/8, $0.69314718055966295651160180568695068359375 // ln2 hi
+DATA sigk<>+136(SB)/8, $0.69314718055966295651160180568695068359375
+DATA sigk<>+144(SB)/8, $0.69314718055966295651160180568695068359375
+DATA sigk<>+152(SB)/8, $0.69314718055966295651160180568695068359375
+DATA sigk<>+160(SB)/8, $0.28235290563031577122588448175013436025525412068e-12 // ln2 lo
+DATA sigk<>+168(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA sigk<>+176(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA sigk<>+184(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA sigk<>+192(SB)/8, $0.0625
+DATA sigk<>+200(SB)/8, $0.0625
+DATA sigk<>+208(SB)/8, $0.0625
+DATA sigk<>+216(SB)/8, $0.0625
+DATA sigk<>+224(SB)/8, $2.4801587301587301587e-5  // c8
+DATA sigk<>+232(SB)/8, $2.4801587301587301587e-5
+DATA sigk<>+240(SB)/8, $2.4801587301587301587e-5
+DATA sigk<>+248(SB)/8, $2.4801587301587301587e-5
+DATA sigk<>+256(SB)/8, $1.9841269841269841270e-4  // c7
+DATA sigk<>+264(SB)/8, $1.9841269841269841270e-4
+DATA sigk<>+272(SB)/8, $1.9841269841269841270e-4
+DATA sigk<>+280(SB)/8, $1.9841269841269841270e-4
+DATA sigk<>+288(SB)/8, $1.3888888888888888889e-3  // c6
+DATA sigk<>+296(SB)/8, $1.3888888888888888889e-3
+DATA sigk<>+304(SB)/8, $1.3888888888888888889e-3
+DATA sigk<>+312(SB)/8, $1.3888888888888888889e-3
+DATA sigk<>+320(SB)/8, $8.3333333333333333333e-3  // c5
+DATA sigk<>+328(SB)/8, $8.3333333333333333333e-3
+DATA sigk<>+336(SB)/8, $8.3333333333333333333e-3
+DATA sigk<>+344(SB)/8, $8.3333333333333333333e-3
+DATA sigk<>+352(SB)/8, $4.1666666666666666667e-2  // c4
+DATA sigk<>+360(SB)/8, $4.1666666666666666667e-2
+DATA sigk<>+368(SB)/8, $4.1666666666666666667e-2
+DATA sigk<>+376(SB)/8, $4.1666666666666666667e-2
+DATA sigk<>+384(SB)/8, $1.6666666666666666667e-1  // c3
+DATA sigk<>+392(SB)/8, $1.6666666666666666667e-1
+DATA sigk<>+400(SB)/8, $1.6666666666666666667e-1
+DATA sigk<>+408(SB)/8, $1.6666666666666666667e-1
+DATA sigk<>+416(SB)/8, $0.5
+DATA sigk<>+424(SB)/8, $0.5
+DATA sigk<>+432(SB)/8, $0.5
+DATA sigk<>+440(SB)/8, $0.5
+DATA sigk<>+448(SB)/8, $1.0
+DATA sigk<>+456(SB)/8, $1.0
+DATA sigk<>+464(SB)/8, $1.0
+DATA sigk<>+472(SB)/8, $1.0
+DATA sigk<>+480(SB)/8, $2.0
+DATA sigk<>+488(SB)/8, $2.0
+DATA sigk<>+496(SB)/8, $2.0
+DATA sigk<>+504(SB)/8, $2.0
+DATA sigk<>+512(SB)/8, $0x3FF0000000000000 // exponent bias 1023<<52
+DATA sigk<>+520(SB)/8, $0x3FF0000000000000
+DATA sigk<>+528(SB)/8, $0x3FF0000000000000
+DATA sigk<>+536(SB)/8, $0x3FF0000000000000
+GLOBL sigk<>+0(SB), RODATA, $544
+
+// func sigmoidBlocksAsm(dst, src []float64) int
+//
+// For each 4-lane block: x = -z; if every lane of x is in [-708, 709],
+// compute exp(x) with the archExp FMA sequence (round-to-nearest cvt for
+// k, fused ln2-hi/lo reduction, 7-term FMA Horner, three squarings, fused
+// final u*(u+2)+1, ldexp by exponent-bits add), then 1/(1+e). On the first
+// block with any out-of-range/NaN lane, return the count processed so far.
+// The domain keeps k+1023 in [2, 2046], so the scalar code's denormal and
+// overflow branches are unreachable and need no vector equivalent.
+TEXT ·sigmoidBlocksAsm(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), R8
+	MOVQ R8, R9
+	ANDQ $-4, R9              // n4 = len &^ 3
+	XORQ R10, R10
+	VMOVUPD sigk<>+0(SB), Y15   // sign mask
+	VMOVUPD sigk<>+32(SB), Y14  // -708
+	VMOVUPD sigk<>+64(SB), Y13  // 709
+	VMOVUPD sigk<>+96(SB), Y12  // log2(e)
+	VMOVUPD sigk<>+128(SB), Y11 // ln2 hi
+	VMOVUPD sigk<>+160(SB), Y10 // ln2 lo
+	VMOVUPD sigk<>+192(SB), Y9  // 0.0625
+	VMOVUPD sigk<>+480(SB), Y8  // 2.0
+	VMOVUPD sigk<>+448(SB), Y7  // 1.0
+	VMOVUPD sigk<>+512(SB), Y6  // exponent bias
+
+sgblk:
+	CMPQ R10, R9
+	JGE  sgdone
+	VMOVUPD (SI)(R10*8), Y0
+	VXORPD Y15, Y0, Y0        // x = -z (exact sign flip)
+	VCMPPD $0x1D, Y14, Y0, Y1 // x >= -708 (GE_OQ; false on NaN)
+	VCMPPD $0x12, Y13, Y0, Y2 // x <= 709 (LE_OQ)
+	VANDPD Y2, Y1, Y1
+	VMOVMSKPD Y1, AX
+	CMPL AX, $0xF
+	JNE  sgdone               // bail: caller resolves this block scalar
+
+	// exp(x), archExp FMA branch, 4 lanes
+	VMULPD Y0, Y12, Y1        // log2(e)*x
+	VCVTPD2DQY Y1, X2         // k = round-to-nearest int32 (CVTSD2SL lanewise)
+	VCVTDQ2PD X2, Y1          // float64(k)
+	VFNMADD231PD Y11, Y1, Y0  // x -= ln2hi*k (fused)
+	VFNMADD231PD Y10, Y1, Y0  // x -= ln2lo*k (fused)
+	VMULPD Y9, Y0, Y0         // x *= 0.0625
+	VMOVUPD sigk<>+224(SB), Y1              // c8
+	VFMADD213PD sigk<>+256(SB), Y0, Y1      // poly = poly*x + c7
+	VFMADD213PD sigk<>+288(SB), Y0, Y1      // + c6
+	VFMADD213PD sigk<>+320(SB), Y0, Y1      // + c5
+	VFMADD213PD sigk<>+352(SB), Y0, Y1      // + c4
+	VFMADD213PD sigk<>+384(SB), Y0, Y1      // + c3
+	VFMADD213PD sigk<>+416(SB), Y0, Y1      // + 0.5
+	VFMADD213PD sigk<>+448(SB), Y0, Y1      // + 1.0
+	VMULPD Y1, Y0, Y0         // u = x*poly
+	VADDPD Y8, Y0, Y1         // u + 2
+	VMULPD Y1, Y0, Y0         // u *= u+2 (three plain squaring steps)
+	VADDPD Y8, Y0, Y1
+	VMULPD Y1, Y0, Y0
+	VADDPD Y8, Y0, Y1
+	VMULPD Y1, Y0, Y0
+	VADDPD Y8, Y0, Y1
+	VFMADD213PD sigk<>+448(SB), Y1, Y0 // u = u*(u+2) + 1 (fused, as archExp)
+	VPMOVSXDQ X2, Y2          // ldexp: bits = (k<<52) + 1023<<52
+	VPSLLQ $52, Y2, Y2
+	VPADDQ Y6, Y2, Y2
+	VMULPD Y2, Y0, Y0         // e = u * 2^k
+
+	// sigmoid: 1 / (1 + e)
+	VADDPD Y7, Y0, Y1
+	VDIVPD Y1, Y7, Y0
+	VMOVUPD Y0, (DI)(R10*8)
+	ADDQ $4, R10
+	JMP  sgblk
+
+sgdone:
+	VZEROUPPER
+	MOVQ R10, ret+48(FP)
+	RET

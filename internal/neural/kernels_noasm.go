@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package neural
+
+// On non-amd64 targets the portable kernels are the only implementation;
+// the dispatch flags stay false and these stubs are unreachable.
+var useAsmKernels, useAsmSigmoid = false, false
+
+func axpyMatAsm(dst, a, b []float64, m int) {
+	panic("neural: axpyMatAsm without asm support")
+}
+
+func gemmAccAsm(dst, a, b []float64, rows, k, m, dstStride, aRowStride, aElemStride int) {
+	panic("neural: gemmAccAsm without asm support")
+}
+
+func updateParamsAsm(w, g, vel []float64, mom, scale, l2 float64) {
+	panic("neural: updateParamsAsm without asm support")
+}
+
+func sigmoidBlocksAsm(dst, src []float64) int {
+	panic("neural: sigmoidBlocksAsm without asm support")
+}

@@ -1,0 +1,243 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Kernel parity tests: the AVX2 kernels must be bit-identical to the
+// portable Go references on every input. These are skipped (trivially
+// green) on machines where the asm paths are disabled.
+
+func TestAxpyMatAsmMatchesGo(t *testing.T) {
+	if !useAsmKernels {
+		t.Skip("asm kernels disabled on this CPU")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 11, 16, 17, 23, 32, 40, 61} {
+		for _, n := range []int{1, 2, 3, 4, 5, 13, 32} {
+			a := make([]float64, n)
+			b := make([]float64, n*m)
+			want := make([]float64, m)
+			got := make([]float64, m)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			for i := range want {
+				v := rng.NormFloat64()
+				want[i] = v
+				got[i] = v
+			}
+			axpyMatGo(want, a, b, m)
+			axpyMatAsm(got, a, b, m)
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("m=%d n=%d: dst[%d] = %x (asm) vs %x (go)", m, n, j,
+						math.Float64bits(got[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	}
+}
+
+// gemmAccRef is the plain-loop semantic of gemmAcc, independent of both
+// the Go and asm production kernels.
+func gemmAccRef(dst, a, b []float64, rows, k, m, dstStride, aRowStride, aElemStride int) {
+	for r := 0; r < rows; r++ {
+		for kk := 0; kk < k; kk++ {
+			av := a[r*aRowStride+kk*aElemStride]
+			for j := 0; j < m; j++ {
+				dst[r*dstStride+j] += av * b[kk*m+j]
+			}
+		}
+	}
+}
+
+func TestGemmAccMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range []int{1, 2, 3, 4, 5, 8, 16, 17} {
+		for _, k := range []int{1, 2, 5, 16, 23} {
+			for _, m := range []int{1, 2, 3, 4, 5, 8, 11, 16, 23, 37} {
+				for _, strided := range []bool{false, true} {
+					aRowStride, aElemStride := k, 1
+					if strided {
+						aRowStride, aElemStride = 1, rows+3
+					}
+					dstStride := m + 2
+					aLen := (rows-1)*aRowStride + (k-1)*aElemStride + 1
+					a := make([]float64, aLen)
+					b := make([]float64, k*m)
+					want := make([]float64, (rows-1)*dstStride+m)
+					got := make([]float64, len(want))
+					for i := range a {
+						a[i] = rng.NormFloat64()
+					}
+					for i := range b {
+						b[i] = rng.NormFloat64()
+					}
+					for i := range want {
+						v := rng.NormFloat64()
+						want[i] = v
+						got[i] = v
+					}
+					gemmAccRef(want, a, b, rows, k, m, dstStride, aRowStride, aElemStride)
+					gemmAcc(got, a, b, rows, k, m, dstStride, aRowStride, aElemStride)
+					for i := range want {
+						if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+							t.Fatalf("rows=%d k=%d m=%d strided=%v: dst[%d] = %x want %x",
+								rows, k, m, strided, i,
+								math.Float64bits(got[i]), math.Float64bits(want[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateParamsAsmMatchesGo(t *testing.T) {
+	if !useAsmKernels {
+		t.Skip("asm kernels disabled on this CPU")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 15, 64, 101} {
+		w1 := make([]float64, n)
+		g := make([]float64, n)
+		v1 := make([]float64, n)
+		w2 := make([]float64, n)
+		v2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			w1[i] = rng.NormFloat64()
+			g[i] = rng.NormFloat64()
+			v1[i] = rng.NormFloat64()
+			w2[i], v2[i] = w1[i], v1[i]
+		}
+		updateParamsGo(w1, g, v1, 0.9, 0.0125, 1e-4)
+		updateParamsAsm(w2, g, v2, 0.9, 0.0125, 1e-4)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) ||
+				math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+				t.Fatalf("n=%d i=%d: w %x vs %x, v %x vs %x", n, i,
+					math.Float64bits(w2[i]), math.Float64bits(w1[i]),
+					math.Float64bits(v2[i]), math.Float64bits(v1[i]))
+			}
+		}
+	}
+}
+
+func checkSigmoidBits(t *testing.T, zs []float64) {
+	t.Helper()
+	got := make([]float64, len(zs))
+	sigmoidVec(got, zs)
+	for i, z := range zs {
+		want := sigmoidScalar(z)
+		if math.Float64bits(want) != math.Float64bits(got[i]) {
+			t.Fatalf("sigmoid(%g): got %x (%g), want %x (%g)",
+				z, math.Float64bits(got[i]), got[i], math.Float64bits(want), want)
+		}
+	}
+}
+
+func TestSigmoidVecMatchesScalar(t *testing.T) {
+	if !useAsmSigmoid {
+		t.Skip("vector sigmoid disabled on this CPU")
+	}
+	// Typical pre-activation range, dense sweep.
+	zs := make([]float64, 200001)
+	for i := range zs {
+		zs[i] = -25 + 50*float64(i)/float64(len(zs)-1)
+	}
+	checkSigmoidBits(t, zs)
+
+	// Wide range straddling the fast-path domain boundary, forcing
+	// block bail-out and restart.
+	rng := rand.New(rand.NewSource(3))
+	wide := make([]float64, 40001)
+	for i := range wide {
+		wide[i] = (rng.Float64()*2 - 1) * 800
+	}
+	checkSigmoidBits(t, wide)
+
+	// Edge cases: boundaries, zeros, tiny/huge magnitudes, non-finite.
+	edge := []float64{
+		0, math.Copysign(0, -1),
+		707.999, 708, math.Nextafter(708, 709), 708.5, 709, math.Nextafter(709, 710),
+		-707.999, -708, -708.5, -709, math.Nextafter(-709, -710), -710,
+		745, -745, 1e300, -1e300,
+		5e-324, -5e-324, 1e-308, -1e-308,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		1, -1, 0.5, -0.5, 17.25, -17.25,
+	}
+	// Pad so the interesting values land in different lane positions.
+	for pad := 0; pad < 4; pad++ {
+		padded := make([]float64, 0, len(edge)+pad)
+		for i := 0; i < pad; i++ {
+			padded = append(padded, 0.25)
+		}
+		padded = append(padded, edge...)
+		checkSigmoidBits(t, padded)
+	}
+}
+
+func TestSigmoidVecShortAndUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n <= 21; n++ {
+		zs := make([]float64, n)
+		for i := range zs {
+			zs[i] = rng.NormFloat64() * 6
+		}
+		checkSigmoidBits(t, zs)
+	}
+}
+
+func TestMulNTMatchesDenseForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, err := NewDense(5, 7, ActIdentity, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMat(3, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	w := &Mat{Rows: 7, Cols: 5, Data: d.W}
+	out := NewMat(3, 7)
+	out.MulNT(x, w, d.B)
+	for s := 0; s < 3; s++ {
+		want := d.Forward(x.Row(s))
+		for o, wv := range want {
+			if math.Float64bits(wv) != math.Float64bits(out.Row(s)[o]) {
+				t.Fatalf("row %d out %d: MulNT %g != Forward %g", s, o, out.Row(s)[o], wv)
+			}
+		}
+	}
+}
+
+func TestMulNNMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewMat(3, 6)
+	w := NewMat(6, 9)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	out := NewMat(3, 9)
+	out.MulNN(d, w)
+	for s := 0; s < d.Rows; s++ {
+		for j := 0; j < w.Cols; j++ {
+			var sum float64
+			for k := 0; k < d.Cols; k++ {
+				sum += d.Row(s)[k] * w.Row(k)[j]
+			}
+			if math.Abs(sum-out.Row(s)[j]) > 1e-12 {
+				t.Fatalf("(%d,%d): got %g want %g", s, j, out.Row(s)[j], sum)
+			}
+		}
+	}
+}

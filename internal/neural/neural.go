@@ -128,6 +128,9 @@ func (d *Dense) Forward(x []float64) []float64 {
 // Network is a feedforward stack of dense layers.
 type Network struct {
 	Layers []*Dense
+
+	// fwd is lazily created scratch for Loss; see FwdScratch.
+	fwd *FwdScratch
 }
 
 // NewNetwork builds a network from layer sizes: sizes[0] is the input
@@ -165,15 +168,48 @@ func (n *Network) Forward(x []float64) []float64 {
 	return x
 }
 
-// forwardCached runs Forward keeping every layer's output; acts[0] is the
-// input itself.
-func (n *Network) forwardCached(x []float64) [][]float64 {
-	acts := make([][]float64, len(n.Layers)+1)
-	acts[0] = x
-	for i, l := range n.Layers {
-		acts[i+1] = l.Forward(acts[i])
+// FwdScratch holds per-layer buffers for allocation-free inference via
+// ForwardInto. A scratch is tied to the layer shapes it was built for and
+// must not be shared between concurrent callers.
+type FwdScratch struct {
+	z [][]float64 // per layer: pre-activation W·x+b
+	a [][]float64 // per layer: activation
+}
+
+// NewFwdScratch sizes a scratch for n's current layer shapes.
+func NewFwdScratch(n *Network) *FwdScratch {
+	s := &FwdScratch{}
+	for _, l := range n.Layers {
+		s.z = append(s.z, make([]float64, l.Out))
+		s.a = append(s.a, make([]float64, l.Out))
 	}
-	return acts
+	return s
+}
+
+func (s *FwdScratch) fits(n *Network) bool {
+	if len(s.z) != len(n.Layers) {
+		return false
+	}
+	for i, l := range n.Layers {
+		if len(s.z[i]) != l.Out {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardInto computes the network output for x without allocating,
+// writing intermediates into s. The returned slice is owned by s and valid
+// until the next call with the same scratch. Results are bit-identical to
+// Forward.
+func (n *Network) ForwardInto(s *FwdScratch, x []float64) []float64 {
+	in := x
+	for li, l := range n.Layers {
+		mulNTRow(s.z[li], in, l.W, l.B, l.Out, l.In)
+		actVec(l.Act, s.a[li], s.z[li])
+		in = s.a[li]
+	}
+	return in
 }
 
 // grads holds per-layer parameter gradients.
@@ -205,55 +241,58 @@ func clearF(s []float64) {
 }
 
 // backprop accumulates MSE-loss gradients for one sample into g and returns
-// the sample's squared-error loss (½·Σ(y−t)²).
+// the sample's squared-error loss (½·Σ(y−t)²). It runs the batched engine
+// on a 1-row batch; Train bypasses this wrapper and drives the batched
+// passes directly over whole minibatches.
 func (n *Network) backprop(x, target []float64, g *grads) float64 {
-	acts := n.forwardCached(x)
-	out := acts[len(acts)-1]
-	// δ at the output layer: (y − t) ⊙ act'(y).
-	delta := make([]float64, len(out))
-	loss := 0.0
-	last := n.Layers[len(n.Layers)-1]
-	for o := range out {
-		e := out[o] - target[o]
-		loss += 0.5 * e * e
-		delta[o] = e * last.Act.derivFromOutput(out[o])
+	ts := newTrainState(n, 1, 1)
+	loss := ts.runBatchPasses(x, target)
+	for li := range g.dW {
+		for i, v := range ts.g.dW[li] {
+			g.dW[li][i] += v
+		}
+		for i, v := range ts.g.dB[li] {
+			g.dB[li][i] += v
+		}
 	}
-	for li := len(n.Layers) - 1; li >= 0; li-- {
-		l := n.Layers[li]
-		in := acts[li]
-		for o := 0; o < l.Out; o++ {
-			g.dB[li][o] += delta[o]
-			row := g.dW[li][o*l.In : (o+1)*l.In]
-			for i, xi := range in {
-				row[i] += delta[o] * xi
-			}
+	return loss
+}
+
+// runBatchPasses runs forward + backward + gradient accumulation (no
+// parameter update) for a single sample into ts.g.
+func (ts *trainState) runBatchPasses(x, target []float64) float64 {
+	ts.b = 1
+	copy(ts.xb.Row(0), x)
+	copy(ts.yb.Row(0), target)
+	layers := ts.n.Layers
+	for li, l := range layers {
+		packTranspose(ts.wt[li], l.W, l.Out, l.In)
+		ts.forwardRows(li, 0, 1)
+	}
+	loss := ts.outputDelta(0)
+	for li := len(layers) - 1; li >= 0; li-- {
+		ts.gradRows(li, 0, layers[li].Out)
+		if li > 0 {
+			ts.backwardRows(li, 0, 1)
 		}
-		if li == 0 {
-			break
-		}
-		prev := make([]float64, l.In)
-		below := n.Layers[li-1]
-		for i := 0; i < l.In; i++ {
-			sum := 0.0
-			for o := 0; o < l.Out; o++ {
-				sum += l.W[o*l.In+i] * delta[o]
-			}
-			prev[i] = sum * below.Act.derivFromOutput(in[i])
-		}
-		delta = prev
 	}
 	return loss
 }
 
 // Loss returns the mean squared-error loss (½·Σ(y−t)² averaged over
-// samples) of the network on a dataset.
+// samples) of the network on a dataset. It reuses internal forward scratch
+// (no per-sample allocation), so concurrent Loss calls on one Network must
+// be externally synchronized.
 func (n *Network) Loss(x, y [][]float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
+	if n.fwd == nil || !n.fwd.fits(n) {
+		n.fwd = NewFwdScratch(n)
+	}
 	total := 0.0
 	for s := range x {
-		out := n.Forward(x[s])
+		out := n.ForwardInto(n.fwd, x[s])
 		for o := range out {
 			e := out[o] - y[s][o]
 			total += 0.5 * e * e

@@ -26,6 +26,9 @@ type SAEConfig struct {
 	BatchSize int
 	// Seed makes the whole build deterministic.
 	Seed int64
+	// Workers bounds per-minibatch parallelism (see TrainConfig.Workers);
+	// results are bit-identical for any value.
+	Workers int
 }
 
 func (c *SAEConfig) applyDefaults() {
@@ -116,18 +119,31 @@ func (s *SAE) Pretrain(x [][]float64) error {
 		}
 		if _, err := ae.Train(in, rep, TrainConfig{
 			Epochs: s.cfg.PretrainEpochs, BatchSize: s.cfg.BatchSize,
-			LR: s.cfg.LR, Rng: s.rng,
+			LR: s.cfg.LR, Rng: s.rng, Workers: s.cfg.Workers,
 		}); err != nil {
 			return fmt.Errorf("neural: pretraining layer %d: %w", li, err)
 		}
-		// Encode for the next layer.
-		next := make([][]float64, len(rep))
-		for i := range rep {
-			next[i] = enc.Forward(rep[i])
-		}
-		rep = next
+		rep = encodeAll(enc, rep)
 	}
 	return nil
+}
+
+// encodeAll runs one layer over every sample as a single batched matmul
+// plus one fused activation pass, bit-identical to calling enc.Forward per
+// row. The returned rows alias one backing matrix.
+func encodeAll(enc *Dense, x [][]float64) [][]float64 {
+	xm := NewMat(len(x), enc.In)
+	for i, row := range x {
+		copy(xm.Row(i), row)
+	}
+	zm := NewMat(len(x), enc.Out)
+	zm.MulNT(xm, &Mat{Rows: enc.Out, Cols: enc.In, Data: enc.W}, enc.B)
+	actVec(enc.Act, zm.Data, zm.Data)
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = zm.Row(i)
+	}
+	return out
 }
 
 // corrupt returns a copy of x with each element zeroed with probability
@@ -156,7 +172,7 @@ func (s *SAE) Fit(x, y [][]float64) (float64, error) {
 	}
 	return s.net.Train(x, y, TrainConfig{
 		Epochs: s.cfg.FinetuneEpochs, BatchSize: s.cfg.BatchSize,
-		LR: s.cfg.LR, Rng: s.rng,
+		LR: s.cfg.LR, Rng: s.rng, Workers: s.cfg.Workers,
 	})
 }
 

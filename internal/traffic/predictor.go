@@ -22,6 +22,10 @@ type PredictorConfig struct {
 	PretrainEpochs, FinetuneEpochs int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds per-minibatch training parallelism (see
+	// neural.TrainConfig.Workers); the trained model is bit-identical for
+	// any value.
+	Workers int
 }
 
 func (c *PredictorConfig) applyDefaults() {
@@ -39,11 +43,17 @@ func (c *PredictorConfig) applyDefaults() {
 	}
 }
 
-// Predictor is a trained SAE volume model.
+// Predictor is a trained SAE volume model. Predict reuses internal
+// scratch, so a Predictor must not be shared between concurrent callers.
 type Predictor struct {
 	cfg   PredictorConfig
 	net   *neural.Network
 	scale float64 // max-normalization factor
+
+	// Inference scratch, lazily built on first Predict so that predictors
+	// restored by LoadPredictor get it too.
+	feat []float64
+	fwd  *neural.FwdScratch
 }
 
 // featureDim returns Window + 11 time encodings (four hour-of-day
@@ -53,7 +63,13 @@ func featureDim(window int) int { return window + 11 }
 // features builds the input vector for predicting hour h of series s,
 // using s.Values[h-window:h] as history.
 func (p *Predictor) features(history []float64, h int) []float64 {
-	x := make([]float64, 0, featureDim(p.cfg.Window))
+	return p.featuresInto(make([]float64, 0, featureDim(p.cfg.Window)), history, h)
+}
+
+// featuresInto appends the feature vector to dst[:0] and returns it,
+// allocating nothing when dst has capacity featureDim(Window).
+func (p *Predictor) featuresInto(dst, history []float64, h int) []float64 {
+	x := dst[:0]
 	for _, v := range history {
 		x = append(x, v/p.scale)
 	}
@@ -96,6 +112,7 @@ func TrainPredictor(train *Series, cfg PredictorConfig) (*Predictor, error) {
 		PretrainEpochs: cfg.PretrainEpochs,
 		FinetuneEpochs: cfg.FinetuneEpochs,
 		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -116,12 +133,19 @@ func TrainPredictor(train *Series, cfg PredictorConfig) (*Predictor, error) {
 func (p *Predictor) Window() int { return p.cfg.Window }
 
 // Predict returns the predicted volume (veh/h) for hour h given the
-// preceding Window hourly volumes. Predictions are clamped at zero.
+// preceding Window hourly volumes. Predictions are clamped at zero. It
+// reuses the predictor's scratch buffers (zero steady-state allocations)
+// and is therefore not safe for concurrent use.
 func (p *Predictor) Predict(history []float64, h int) (float64, error) {
 	if len(history) != p.cfg.Window {
 		return 0, fmt.Errorf("traffic: history length %d, want %d", len(history), p.cfg.Window)
 	}
-	out := p.net.Forward(p.features(history, h))[0] * p.scale
+	if p.fwd == nil {
+		p.feat = make([]float64, 0, featureDim(p.cfg.Window))
+		p.fwd = neural.NewFwdScratch(p.net)
+	}
+	p.feat = p.featuresInto(p.feat, history, h)
+	out := p.net.ForwardInto(p.fwd, p.feat)[0] * p.scale
 	if out < 0 {
 		out = 0
 	}

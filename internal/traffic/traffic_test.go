@@ -298,3 +298,26 @@ func TestPredictSeriesTooShort(t *testing.T) {
 		t.Fatal("short test series accepted")
 	}
 }
+
+// TestPredictAllocs verifies steady-state Predict performs no heap
+// allocations once its lazy scratch exists.
+func TestPredictAllocs(t *testing.T) {
+	s := synth(t, 2, 31)
+	p, err := TrainPredictor(s, PredictorConfig{
+		Window: 6, Hidden: []int{8}, PretrainEpochs: 1, FinetuneEpochs: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := s.Values[:6]
+	if _, err := p.Predict(history, 6); err != nil { // warm-up builds scratch
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := p.Predict(history, 6); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Predict allocates %.1f objects per run, want 0", allocs)
+	}
+}
