@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke chaos
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +30,10 @@ bench:
 # no longer compile or crash without paying for real measurements.
 bench-smoke:
 	$(GO) test -run - -bench . -benchtime 1x ./...
+
+# Robustness smoke: the fault-injected chaos tests (degradation ladder,
+# shedding + client retry, panic recovery, coalescing under cancellation)
+# plus the DP cancellation contract, all under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Ctx|Cancel|Shed|Degrade|Graceful|Drain' \
+		./internal/cloud ./internal/dp ./cmd/cloudd

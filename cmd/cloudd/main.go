@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	cloudd [-addr host:port] [-rate veh/h]
+//	cloudd [-addr host:port] [-rate veh/h] [-deadline 30s]
+//	       [-max-inflight N] [-drain 10s]
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight optimizations
+// get up to -drain to finish and deliver their responses before the
+// process exits (a hard Close would abort them mid-body).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,11 +32,14 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:8714", "listen address")
-		rate = flag.Float64("rate", 153, "default predicted arrival rate at signals, vehicles/hour")
+		addr        = flag.String("addr", "127.0.0.1:8714", "listen address")
+		rate        = flag.Float64("rate", 153, "default predicted arrival rate at signals, vehicles/hour")
+		deadline    = flag.Duration("deadline", 30*time.Second, "per-request compute deadline (0 disables)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently computing requests (0 = 2×GOMAXPROCS, <0 disables admission control)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
-	if err := run(*addr, *rate); err != nil {
+	if err := run(*addr, *rate, *deadline, *maxInflight, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudd:", err)
 		os.Exit(1)
 	}
@@ -37,38 +47,62 @@ func main() {
 
 // buildServer constructs the cloud service with a constant default
 // arrival-rate estimate.
-func buildServer(rate float64) (*cloud.Server, error) {
+func buildServer(rate float64, deadline time.Duration, maxInflight int) (*cloud.Server, error) {
 	vin := queue.VehPerHour(rate)
+	deadlineSec := deadline.Seconds()
+	if deadline <= 0 {
+		deadlineSec = -1 // ServerConfig convention: negative disables
+	}
 	return cloud.NewServer(cloud.ServerConfig{
-		ArrivalRate: func(road.Control, float64) float64 { return vin },
+		ArrivalRate:        func(road.Control, float64) (float64, error) { return vin, nil },
+		DefaultDeadlineSec: deadlineSec,
+		MaxInFlight:        maxInflight,
 	})
 }
 
-func run(addr string, rate float64) error {
-	srv, err := buildServer(rate)
+func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration) error {
+	srv, err := buildServer(rate, deadline, maxInflight)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("cloudd: serving on http://%s (default rate %.0f veh/h)", addr, rate)
-		errCh <- httpSrv.ListenAndServe()
-	}()
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	log.Printf("cloudd: serving on http://%s (default rate %.0f veh/h, deadline %v, drain %v)",
+		ln.Addr(), rate, deadline, drain)
+	return serve(httpSrv, ln, sigCh, drain)
+}
+
+// serve runs httpSrv on ln until a signal arrives, then shuts down
+// gracefully: the listener closes immediately (no new connections) while
+// in-flight requests get up to drain to complete. Only if the drain budget
+// expires are the remaining connections cut hard.
+func serve(httpSrv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
 		return err
-	case <-sigCh:
-		log.Println("cloudd: shutting down")
-		return httpSrv.Close()
+	case sig := <-stop:
+		log.Printf("cloudd: %v received, draining for up to %v", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// Drain budget exhausted; cut the stragglers.
+			log.Printf("cloudd: drain incomplete (%v), closing", err)
+			return httpSrv.Close()
+		}
+		return nil
 	}
 }

@@ -2,14 +2,19 @@ package main
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"syscall"
 	"testing"
+	"time"
 
 	"evvo/internal/cloud"
 )
 
 func TestBuildServerServes(t *testing.T) {
-	srv, err := buildServer(153)
+	srv, err := buildServer(153, 30*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,5 +34,110 @@ func TestBuildServerServes(t *testing.T) {
 	}
 	if len(routes) == 0 {
 		t.Fatal("no routes registered")
+	}
+}
+
+func TestBuildServerDisabledDeadline(t *testing.T) {
+	if _, err := buildServer(153, 0, -1); err != nil {
+		t.Fatalf("deadline/admission disabled: %v", err)
+	}
+}
+
+// TestServeGracefulShutdown pins the drain semantics: a signal must let an
+// in-flight request finish and deliver its response (the old Close()
+// aborted it mid-body), and serve must then return nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+		w.Write([]byte("done"))
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serve(httpSrv, ln, stop, 5*time.Second) }()
+
+	reqErr := make(chan error, 1)
+	gotBody := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 16)
+		n, _ := resp.Body.Read(buf)
+		gotBody <- string(buf[:n])
+		reqErr <- nil
+	}()
+
+	<-inHandler // request is in flight
+	stop <- syscall.SIGTERM
+	// Give Shutdown a moment to close the listener, then let the handler
+	// finish inside the drain budget.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after signal")
+	}
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if body := <-gotBody; body != "done" {
+		t.Fatalf("in-flight response body = %q, want %q", body, "done")
+	}
+}
+
+// TestServeDrainBudgetExpires: a handler that outlives the drain budget is
+// cut off, but serve still returns (no hang).
+func TestServeDrainBudgetExpires(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	mux := http.NewServeMux()
+	started := make(chan struct{})
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serve(httpSrv, ln, stop, 50*time.Millisecond) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	stop <- syscall.SIGTERM
+	select {
+	case <-served:
+		// Close()'s error (if any) is acceptable; returning is the point.
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve hung past the drain budget")
 	}
 }

@@ -4,38 +4,193 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 )
 
+// RetryPolicy controls the client's backoff retries. The service's compute
+// endpoints are pure functions of the request (idempotent), so retrying a
+// POST is safe; the client still retries only *retryable* outcomes:
+// connection-level errors, 429 (shed by admission control) and 503
+// (transient degradation), honoring any Retry-After the server sent.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff: attempt n sleeps a
+	// uniformly random duration in [0, min(MaxBackoff, BaseBackoff·2ⁿ)]
+	// ("full jitter"), never less than the server's Retry-After
+	// (default 100 ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single sleep (default 2 s).
+	MaxBackoff time.Duration
+}
+
+func (p *RetryPolicy) applyDefaults() {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithHTTPClient replaces the underlying HTTP client (e.g. for tighter
+// timeouts or a custom transport).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithDeadlineHint asks the server to spend at most d computing each
+// request (sent as the X-Deadline-Ms header; the server caps it at its
+// configured maximum). Degraded-but-fast answers come back instead of
+// slow full ones — the right trade for a vehicle already in motion.
+func WithDeadlineHint(d time.Duration) ClientOption {
+	return func(c *Client) { c.deadlineHint = d }
+}
+
 // Client talks to a vehicular-cloud server. Safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base         string
+	http         *http.Client
+	retry        RetryPolicy
+	deadlineHint time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source, guarded by mu
 }
 
 // NewClient returns a client for a base URL like "http://127.0.0.1:8080".
-func NewClient(baseURL string) (*Client, error) {
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("cloud: empty base URL")
 	}
-	return &Client{
+	c := &Client{
 		base: baseURL,
 		http: &http.Client{Timeout: 30 * time.Second},
-	}, nil
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.retry.applyDefaults()
+	return c, nil
 }
 
 // APIError is a non-2xx response from the cloud.
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("cloud: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// retryableStatus reports whether a status code may be retried: 429 is
+// admission-control shedding, 503 a transient failure; both arrive with
+// Retry-After. Anything else (400s, 422, 500) would fail identically on
+// retry.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff returns the sleep before attempt n (0-based), full jitter,
+// floored at the server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := c.retry.BaseBackoff << attempt
+	if ceil > c.retry.MaxBackoff || ceil <= 0 {
+		ceil = c.retry.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// do performs one HTTP exchange with retries and decodes a 200 into out.
+// body == nil issues a GET, otherwise a POST of the JSON body.
+func (c *Client) do(ctx context.Context, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var retryAfter time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				retryAfter = apiErr.RetryAfter
+			}
+			t := time.NewTimer(c.backoff(attempt-1, retryAfter))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("cloud: %s: %w (last attempt: %w)", path, ctx.Err(), lastErr)
+			}
+		}
+		method, reader := http.MethodGet, io.Reader(nil)
+		if body != nil {
+			method, reader = http.MethodPost, bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+		if err != nil {
+			return fmt.Errorf("cloud: building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.deadlineHint > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(c.deadlineHint.Milliseconds(), 10))
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("cloud: %s call: %w", path, err)
+			}
+			// Connection-level failure (refused, reset, timeout): the
+			// request never completed server-side work we could observe,
+			// and the endpoints are idempotent — retry.
+			lastErr = fmt.Errorf("cloud: %s call: %w", path, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("cloud: decoding %s response: %w", path, err)
+			}
+			return nil
+		}
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		if !retryableStatus(resp.StatusCode) {
+			return apiErr
+		}
+		lastErr = apiErr
+	}
+	return lastErr
 }
 
 // Optimize requests an optimal velocity profile.
@@ -44,22 +199,9 @@ func (c *Client) Optimize(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cloud: encoding request: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/optimize", bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("cloud: building request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("cloud: optimize call: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
-	}
 	var out Response
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("cloud: decoding response: %w", err)
+	if err := c.do(ctx, "/v1/optimize", body, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
@@ -70,94 +212,50 @@ func (c *Client) Advise(ctx context.Context, req AdviseRequest) (*AdviseResponse
 	if err != nil {
 		return nil, fmt.Errorf("cloud: encoding advise request: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/advise", bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("cloud: building advise request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("cloud: advise call: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
-	}
 	var out AdviseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("cloud: decoding advise response: %w", err)
+	if err := c.do(ctx, "/v1/advise", body, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
 
 // Health checks service liveness.
 func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("cloud: health call: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeAPIError(resp)
-	}
-	return nil
+	var out map[string]string
+	return c.do(ctx, "/v1/health", nil, &out)
 }
 
 // Routes lists registered route names.
 func (c *Client) Routes(ctx context.Context) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/routes", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("cloud: routes call: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
-	}
 	var out struct {
 		Routes []string `json:"routes"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("cloud: decoding routes: %w", err)
+	if err := c.do(ctx, "/v1/routes", nil, &out); err != nil {
+		return nil, err
 	}
 	return out.Routes, nil
 }
 
 // Stats fetches service counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
-	if err != nil {
-		return Stats{}, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return Stats{}, fmt.Errorf("cloud: stats call: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return Stats{}, decodeAPIError(resp)
-	}
 	var out Stats
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return Stats{}, fmt.Errorf("cloud: decoding stats: %w", err)
+	if err := c.do(ctx, "/v1/stats", nil, &out); err != nil {
+		return Stats{}, err
 	}
 	return out, nil
 }
 
-func decodeAPIError(resp *http.Response) error {
+func decodeAPIError(resp *http.Response) *APIError {
+	var retryAfter time.Duration
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+		retryAfter = time.Duration(sec) * time.Second
+	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return &APIError{Status: resp.StatusCode, Msg: e.Error}
+		return &APIError{Status: resp.StatusCode, Msg: e.Error, RetryAfter: retryAfter}
 	}
-	return &APIError{Status: resp.StatusCode, Msg: string(body)}
+	return &APIError{Status: resp.StatusCode, Msg: string(body), RetryAfter: retryAfter}
 }

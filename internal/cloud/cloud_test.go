@@ -23,7 +23,9 @@ func coarseDP() dp.Config {
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, *Client) {
 	t.Helper()
-	s, err := NewServer(ServerConfig{DPTemplate: coarseDP()})
+	// Generous admission headroom: these tests exercise the API surface,
+	// not load shedding (chaos_test.go covers that with tight limits).
+	s, err := NewServer(ServerConfig{DPTemplate: coarseDP(), MaxInFlight: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,6 +316,72 @@ func TestStatsErrorsCounted(t *testing.T) {
 	}
 	if st.Errors == 0 {
 		t.Fatalf("stats = %+v, want errors counted", st)
+	}
+}
+
+// TestStatsRobustnessCountersWire pins the /v1/stats wire contract for the
+// robustness counters: the field names are API, dashboards key on them.
+// (chaos_test.go covers how the counters move under injected faults.)
+func TestStatsRobustnessCountersWire(t *testing.T) {
+	var predictorDown bool
+	s, err := NewServer(ServerConfig{
+		DPTemplate:  coarseDP(),
+		MaxInFlight: 32,
+		Faults: Faults{
+			PredictorErr: func() error {
+				if predictorDown {
+					return errors.New("injected")
+				}
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One degraded response and one shed so the labelled/omitempty fields
+	// are populated on the wire.
+	predictorDown = true
+	if _, err := c.Optimize(ctx, Request{Route: "us25"}); err != nil {
+		t.Fatal(err)
+	}
+	s.shedNow(httptest.NewRecorder())
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, key := range []string{
+		`"requests"`, `"cacheHits"`, `"errors"`,
+		`"shed"`, `"degraded"`, `"degradedByReason"`,
+		`"panicsRecovered"`, `"retryAfterIssued"`,
+		`"` + DegradedPredictorFallback + `"`,
+	} {
+		if !strings.Contains(raw, key) {
+			t.Fatalf("stats JSON missing %s: %s", key, raw)
+		}
+	}
+	var st Stats
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 1 || st.Degraded != 1 || st.RetryAfterIssued != 1 ||
+		st.DegradedByReason[DegradedPredictorFallback] != 1 {
+		t.Fatalf("stats = %+v, want shed/degraded/retryAfter = 1", st)
 	}
 }
 

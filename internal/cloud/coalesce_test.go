@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -42,14 +43,16 @@ func TestOptimizeCoalescesConcurrentRequests(t *testing.T) {
 	var calls int64
 	release := make(chan struct{})
 	old := optimizeDP
-	optimizeDP = func(cfg dp.Config) (*dp.Result, error) {
+	optimizeDP = func(ctx context.Context, cfg dp.Config) (*dp.Result, error) {
 		atomic.AddInt64(&calls, 1)
 		<-release // hold the leader until every follower has arrived
-		return old(cfg)
+		return old(ctx, cfg)
 	}
 	defer func() { optimizeDP = old }()
 
-	s, err := NewServer(ServerConfig{DPTemplate: coarseDP()})
+	// Admission headroom for all 8 concurrent requests: this test is about
+	// coalescing, not shedding (one box can have MaxInFlight default to 2).
+	s, err := NewServer(ServerConfig{DPTemplate: coarseDP(), MaxInFlight: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

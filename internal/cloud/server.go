@@ -7,7 +7,7 @@
 //
 //	GET  /v1/health          liveness probe
 //	GET  /v1/routes          registered route names
-//	GET  /v1/stats           request/cache counters
+//	GET  /v1/stats           request/cache/robustness counters
 //	POST /v1/optimize        compute an optimal profile
 //	POST /v1/advise          sweep departure times, recommend the best
 //
@@ -16,18 +16,37 @@
 // signal cycle, so per-vehicle recomputation would be wasted work.
 // Concurrent identical requests are additionally coalesced so a thundering
 // herd runs the optimizer once, not once per vehicle.
+//
+// The service is built to fail soft (DESIGN.md §8). Every request carries
+// a compute deadline; admission control sheds excess load with 429 +
+// Retry-After instead of queueing unboundedly; handler panics become 500s
+// without killing the process; and when the paper's full method cannot be
+// computed in time the response degrades down a ladder — default arrival
+// rate when the predictor fails, the green-window variant when the
+// queue-aware solve blows its budget, and finally a stale cache entry —
+// each annotated with degraded/degradedReason. The degraded answers are
+// exactly the paper's own baselines (Ozatay-style and green-signal DP):
+// valid, just less efficient, which is the right trade for a driver
+// already rolling toward the first intersection.
 package cloud
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"evvo/internal/dp"
 	"evvo/internal/ev"
+	"evvo/internal/metrics"
 	"evvo/internal/profile"
 	"evvo/internal/queue"
 	"evvo/internal/road"
@@ -45,6 +64,21 @@ const (
 	VariantGreen Variant = "green"
 	// VariantUnconstrained ignores signals (Ozatay-style baseline).
 	VariantUnconstrained Variant = "unconstrained"
+)
+
+// Degradation reasons reported in Response.DegradedReason and counted per
+// label in Stats.DegradedByReason.
+const (
+	// DegradedPredictorFallback: the arrival-rate predictor failed; the
+	// zero-queue windows were computed from the configured fallback rate.
+	DegradedPredictorFallback = "predictor-default-rate"
+	// DegradedGreenFallback: the queue-aware solve exceeded its compute
+	// budget; the response is the green-window variant.
+	DegradedGreenFallback = "green-fallback"
+	// DegradedStaleCache: nothing could be computed in time; the response
+	// is a previously cached plan for the same route (possibly another
+	// departure bucket or variant).
+	DegradedStaleCache = "stale-cache"
 )
 
 // Request is the optimize-request payload.
@@ -84,6 +118,13 @@ type Response struct {
 	Arrivals  []ArrivalJSON `json:"arrivals"`
 	Penalized bool          `json:"penalized"`
 	Cached    bool          `json:"cached"`
+	// Degraded is true when the service could not deliver the full
+	// queue-aware answer and fell down the degradation ladder;
+	// DegradedReason says which rung (see the Degraded* constants). A
+	// degraded plan is still drivable — it is one of the paper's baseline
+	// methods — just less efficient.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // Stats are service counters.
@@ -91,6 +132,17 @@ type Stats struct {
 	Requests  int64 `json:"requests"`
 	CacheHits int64 `json:"cacheHits"`
 	Errors    int64 `json:"errors"`
+	// Shed counts requests rejected by admission control (429).
+	Shed int64 `json:"shed"`
+	// Degraded counts responses served off the degradation ladder, with a
+	// per-reason breakdown.
+	Degraded         int64            `json:"degraded"`
+	DegradedByReason map[string]int64 `json:"degradedByReason,omitempty"`
+	// PanicsRecovered counts handler panics converted to 500s.
+	PanicsRecovered int64 `json:"panicsRecovered"`
+	// RetryAfterIssued counts responses that carried a Retry-After header
+	// (shed and transient-failure responses).
+	RetryAfterIssued int64 `json:"retryAfterIssued"`
 }
 
 // ServerConfig parameterizes the cloud service.
@@ -100,9 +152,15 @@ type ServerConfig struct {
 	// QueueParams parameterize zero-queue-window prediction (default
 	// US25Params).
 	QueueParams queue.Params
-	// ArrivalRate estimates V_in (veh/s) at a signal for a departure time;
-	// requests may override it. Default: the paper's measured 153 veh/h.
-	ArrivalRate func(c road.Control, departTime float64) float64
+	// ArrivalRate estimates V_in (veh/s) at a signal for a departure time —
+	// in deployment the SAE traffic predictor; requests may override it.
+	// It may fail: the service then degrades to FallbackRateVehPerHour
+	// instead of failing the request. Default: the paper's measured
+	// 153 veh/h, never failing.
+	ArrivalRate func(c road.Control, departTime float64) (float64, error)
+	// FallbackRateVehPerHour is the degraded-mode arrival rate used when
+	// ArrivalRate fails (default 153, the paper's measurement).
+	FallbackRateVehPerHour float64
 	// DPTemplate provides grid/penalty defaults for the optimizer; Route,
 	// DepartTime and Windows are filled per request.
 	DPTemplate dp.Config
@@ -110,6 +168,36 @@ type ServerConfig struct {
 	CacheDepartBucketSec float64
 	// MaxCacheEntries bounds the cache (default 1024).
 	MaxCacheEntries int
+
+	// DefaultDeadlineSec is the per-request compute deadline (default 30;
+	// negative disables deadlines entirely).
+	DefaultDeadlineSec float64
+	// MaxDeadlineSec caps the client's X-Deadline-Ms override (default
+	// DefaultDeadlineSec). Clients can only tighten the deadline.
+	MaxDeadlineSec float64
+	// DegradeBudgetFrac is the fraction of the request deadline granted to
+	// the full queue-aware method before the ladder degrades to the green
+	// variant; the remainder is the fallback's budget (default 0.5; must
+	// be in (0, 1]; 1 reserves nothing).
+	DegradeBudgetFrac float64
+
+	// MaxInFlight bounds concurrently computing optimize/advise requests
+	// (default 2×GOMAXPROCS; negative disables admission control).
+	MaxInFlight int
+	// MaxQueueDepth bounds requests waiting for an in-flight slot (default
+	// 2×MaxInFlight; negative sheds immediately when slots are full).
+	MaxQueueDepth int
+	// QueueWaitSec is the longest a queued request waits for a slot before
+	// being shed (default 0.25 s).
+	QueueWaitSec float64
+	// RetryAfterSec is the Retry-After value advertised on shed/transient
+	// responses, rounded up to whole seconds (default 1).
+	RetryAfterSec float64
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// Faults injects deterministic failures for chaos tests (see faults.go).
+	Faults Faults
 }
 
 // Server is the vehicular-cloud HTTP handler. Create with NewServer and
@@ -121,20 +209,30 @@ type Server struct {
 	cache    map[string]*Response
 	order    []string // FIFO eviction order
 	inflight map[string]*inflightCall
-	stats    Stats
+
+	sem    chan struct{} // admission slots; nil = admission disabled
+	queued atomic.Int64  // requests waiting for a slot
+
+	requests, cacheHits, errs       metrics.Counter
+	shed, panics, retryAfterIssued  metrics.Counter
+	degraded                        metrics.LabeledCounter
 }
 
 // inflightCall coalesces concurrent optimize requests for one cache key:
 // the first arrival (the leader) runs the DP, later arrivals wait on done
-// and share the result.
+// and share the result. A leader that dies of its *own* context's
+// cancellation publishes that context error; followers with live contexts
+// do not inherit it — they loop back and elect a new leader (see
+// handleOptimize), so one impatient client cannot fail a coalesced herd.
 type inflightCall struct {
 	done chan struct{}
 	resp *Response
 	err  error
 }
 
-// optimizeDP indirects dp.Optimize so tests can count or stub solver runs.
-var optimizeDP = dp.Optimize
+// optimizeDP indirects dp.OptimizeCtx so tests can count, stub or stall
+// solver runs.
+var optimizeDP = dp.OptimizeCtx
 
 // NewServer builds a Server with the US-25 route pre-registered.
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -152,7 +250,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.ArrivalRate == nil {
 		rate := queue.VehPerHour(153)
-		cfg.ArrivalRate = func(road.Control, float64) float64 { return rate }
+		cfg.ArrivalRate = func(road.Control, float64) (float64, error) { return rate, nil }
+	}
+	if cfg.FallbackRateVehPerHour == 0 {
+		cfg.FallbackRateVehPerHour = 153
+	}
+	if cfg.FallbackRateVehPerHour < 0 {
+		return nil, fmt.Errorf("cloud: fallback rate %.1f must be positive", cfg.FallbackRateVehPerHour)
 	}
 	if cfg.CacheDepartBucketSec == 0 {
 		cfg.CacheDepartBucketSec = 5
@@ -163,11 +267,47 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxCacheEntries == 0 {
 		cfg.MaxCacheEntries = 1024
 	}
+	if cfg.DefaultDeadlineSec == 0 {
+		cfg.DefaultDeadlineSec = 30
+	}
+	if cfg.MaxDeadlineSec == 0 {
+		cfg.MaxDeadlineSec = cfg.DefaultDeadlineSec
+	}
+	if cfg.DegradeBudgetFrac == 0 {
+		cfg.DegradeBudgetFrac = 0.5
+	}
+	if cfg.DegradeBudgetFrac < 0 || cfg.DegradeBudgetFrac > 1 {
+		return nil, fmt.Errorf("cloud: degrade budget fraction %.2f must be in (0, 1]", cfg.DegradeBudgetFrac)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueueDepth == 0 {
+		cfg.MaxQueueDepth = 2 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueueDepth < 0 {
+		cfg.MaxQueueDepth = 0
+	}
+	if cfg.QueueWaitSec == 0 {
+		cfg.QueueWaitSec = 0.25
+	}
+	if cfg.QueueWaitSec < 0 {
+		cfg.QueueWaitSec = 0
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	s := &Server{
 		cfg:      cfg,
 		routes:   map[string]*road.Route{"us25": road.US25()},
 		cache:    make(map[string]*Response),
 		inflight: make(map[string]*inflightCall),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	return s, nil
 }
@@ -176,6 +316,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 func (s *Server) RegisterRoute(name string, r *road.Route) error {
 	if name == "" || r == nil {
 		return fmt.Errorf("cloud: route registration needs a name and a route")
+	}
+	if strings.Contains(name, "|") {
+		// "|" separates cache-key fields; allowing it would let one
+		// route's keys shadow another's stale-cache lookups.
+		return fmt.Errorf("cloud: route name %q must not contain '|'", name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -186,15 +331,17 @@ func (s *Server) RegisterRoute(name string, r *road.Route) error {
 	return nil
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service: the route mux wrapped
+// in the deadline and panic-recovery middleware, with admission control on
+// the two compute endpoints (probes and counters always get through).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/routes", s.handleRoutes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
-	return mux
+	mux.Handle("POST /v1/optimize", s.admit(http.HandlerFunc(s.handleOptimize)))
+	mux.Handle("POST /v1/advise", s.admit(http.HandlerFunc(s.handleAdvise)))
+	return s.withRecover(s.withDeadline(mux))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -213,22 +360,44 @@ func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	st := s.stats
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, Stats{
+		Requests:         s.requests.Value(),
+		CacheHits:        s.cacheHits.Value(),
+		Errors:           s.errs.Value(),
+		Shed:             s.shed.Value(),
+		Degraded:         s.degraded.Total(),
+		DegradedByReason: s.degraded.Snapshot(),
+		PanicsRecovered:  s.panics.Value(),
+		RetryAfterIssued: s.retryAfterIssued.Value(),
+	})
+}
+
+// decodeJSON reads a bounded request body and decodes it strictly: unknown
+// fields (e.g. the typo "departtime") are a 400, not a silent default, and
+// bodies beyond MaxBodyBytes are cut off with a structured 400 instead of
+// buffering without limit.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+	return false
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.stats.Requests++
-	s.mu.Unlock()
+	s.requests.Inc()
 
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Variant == "" {
@@ -257,56 +426,89 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
 	key := s.cacheKey(req)
-	s.mu.Lock()
-	if resp, ok := s.cache[key]; ok {
-		s.stats.CacheHits++
-		s.mu.Unlock()
-		cached := *resp
-		cached.Cached = true
-		writeJSON(w, http.StatusOK, &cached)
-		return
-	}
-	if c, ok := s.inflight[key]; ok {
-		// A twin request is already computing this key; wait for it
-		// instead of running the DP again.
-		s.mu.Unlock()
-		<-c.done
-		if c.err != nil {
-			s.fail(w, http.StatusUnprocessableEntity, c.err.Error())
+	for {
+		s.mu.Lock()
+		if resp, ok := s.cache[key]; ok {
+			s.cacheHits.Inc()
+			s.mu.Unlock()
+			cached := *resp
+			cached.Cached = true
+			writeJSON(w, http.StatusOK, &cached)
 			return
 		}
-		s.mu.Lock()
-		s.stats.CacheHits++
-		s.mu.Unlock()
-		cached := *c.resp
-		cached.Cached = true
-		writeJSON(w, http.StatusOK, &cached)
-		return
-	}
-	c := &inflightCall{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
-
-	resp, err := s.optimize(route, req)
-	c.resp, c.err = resp, err
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if err == nil {
-		if len(s.cache) >= s.cfg.MaxCacheEntries && len(s.order) > 0 {
-			delete(s.cache, s.order[0])
-			s.order = s.order[1:]
+		if c, ok := s.inflight[key]; ok {
+			// A twin request is already computing this key; wait for it
+			// instead of running the DP again — but never past our own
+			// context.
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				s.failRetryable(w, "request abandoned while coalesced: "+ctx.Err().Error())
+				return
+			}
+			if c.err != nil {
+				if isCtxErr(c.err) && ctx.Err() == nil {
+					// The leader died of its own cancellation, not ours:
+					// its deadline was tighter, or its client hung up.
+					// Our context is live, so loop back and elect a new
+					// leader (possibly us) rather than inherit the error.
+					continue
+				}
+				s.optimizeError(w, c.err)
+				return
+			}
+			s.cacheHits.Inc()
+			cached := *c.resp
+			cached.Cached = true
+			writeJSON(w, http.StatusOK, &cached)
+			return
 		}
-		s.cache[key] = resp
-		s.order = append(s.order, key)
-	}
-	s.mu.Unlock()
-	close(c.done)
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, err.Error())
+		c := &inflightCall{done: make(chan struct{})}
+		s.inflight[key] = c
+		s.mu.Unlock()
+
+		resp, err := s.optimize(ctx, route, req)
+		c.resp, c.err = resp, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		// Degraded responses are not cached: the condition that forced the
+		// degradation is transient, and a cached degraded plan would keep
+		// serving the inferior baseline after the optimizer recovered.
+		if err == nil && !resp.Degraded {
+			if len(s.cache) >= s.cfg.MaxCacheEntries && len(s.order) > 0 {
+				delete(s.cache, s.order[0])
+				s.order = s.order[1:]
+			}
+			s.cache[key] = resp
+			s.order = append(s.order, key)
+		}
+		s.mu.Unlock()
+		close(c.done)
+		if err != nil {
+			s.optimizeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimizeError maps an optimize failure to a response: context errors are
+// transient (the budget ran out with every ladder rung dry) and retryable;
+// everything else is a 422 of the optimizer's own.
+func (s *Server) optimizeError(w http.ResponseWriter, err error) {
+	if isCtxErr(err) {
+		s.failRetryable(w, "optimization did not complete within the deadline: "+err.Error())
+		return
+	}
+	s.fail(w, http.StatusUnprocessableEntity, err.Error())
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *Server) cacheKey(req Request) string {
@@ -319,7 +521,132 @@ func (s *Server) cacheKey(req Request) string {
 	return fmt.Sprintf("%s|%s|%g|%g", req.Route, req.Variant, bucket, req.ArrivalRateVehPerHour)
 }
 
-func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
+// optimize runs the degradation ladder for one request:
+//
+//	rung 0  full method, with the predictor falling back to the default
+//	        arrival rate if it errors (degraded: predictor-default-rate)
+//	rung 1  green-window variant when the queue-aware solve exceeds its
+//	        share of the deadline (degraded: green-fallback)
+//	rung 2  a stale cache entry for the same route (degraded: stale-cache)
+//
+// Following Ozatay et al. (PAPERS.md), the lower rungs are the baselines
+// the paper compares against: still-valid velocity profiles, just without
+// the queue-aware (or any) signal timing — strictly better than an error
+// for a vehicle that needs *a* profile now.
+func (s *Server) optimize(ctx context.Context, route *road.Route, req Request) (*Response, error) {
+	primary, cancel := s.primaryBudget(ctx, req.Variant)
+	resp, err := s.runVariant(primary, route, req, req.Variant)
+	if cancel != nil {
+		cancel()
+	}
+	if err == nil {
+		if resp.Degraded {
+			s.degraded.Inc(resp.DegradedReason)
+		}
+		return resp, nil
+	}
+	if !isCtxErr(err) {
+		return nil, err // genuine optimizer error; the ladder is for slowness
+	}
+	if ctx.Err() == nil && req.Variant == VariantQueueAware {
+		// The full method blew its budget but the request still has time:
+		// compute the green-window baseline on the remaining budget.
+		g, gerr := s.runVariant(ctx, route, req, VariantGreen)
+		if gerr == nil {
+			g.Degraded, g.DegradedReason = true, DegradedGreenFallback
+			s.degraded.Inc(DegradedGreenFallback)
+			return g, nil
+		}
+		if !isCtxErr(gerr) {
+			return nil, gerr
+		}
+	}
+	if st := s.staleFor(req); st != nil {
+		out := *st
+		out.Cached = true
+		out.Degraded, out.DegradedReason = true, DegradedStaleCache
+		s.degraded.Inc(DegradedStaleCache)
+		return &out, nil
+	}
+	return nil, err
+}
+
+// primaryBudget carves the full method's slice out of the request
+// deadline, reserving the remainder for the degradation ladder. Variants
+// below queue-aware have no cheaper fallback, so they get the whole
+// deadline.
+func (s *Server) primaryBudget(ctx context.Context, v Variant) (context.Context, context.CancelFunc) {
+	if v != VariantQueueAware {
+		return ctx, nil
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return ctx, nil
+	}
+	budget := time.Duration(float64(time.Until(deadline)) * s.cfg.DegradeBudgetFrac)
+	if budget <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// staleFor returns the freshest cached plan usable as a last-resort answer
+// for req: same route and variant first (any departure bucket), then any
+// variant for the route. Nil when the cache holds nothing for the route.
+func (s *Server) staleFor(req Request) *Response {
+	samePrefix := req.Route + "|" + string(req.Variant) + "|"
+	anyPrefix := req.Route + "|"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var anyHit *Response
+	for i := len(s.order) - 1; i >= 0; i-- {
+		k := s.order[i]
+		if strings.HasPrefix(k, samePrefix) {
+			return s.cache[k]
+		}
+		if anyHit == nil && strings.HasPrefix(k, anyPrefix) {
+			anyHit = s.cache[k]
+		}
+	}
+	return anyHit
+}
+
+// arrivalRate resolves the per-control arrival-rate function for one
+// request: an explicit request override wins; otherwise the configured
+// predictor, degrading to the fallback rate (and flagging it) when the
+// predictor — or the injected predictor fault — fails. The degraded flag
+// is written from dp.OptimizeCtx's serial window-building phase, before
+// any worker goroutine starts, so no synchronization is needed.
+func (s *Server) arrivalRate(req Request, degraded *bool) func(road.Control) float64 {
+	if req.ArrivalRateVehPerHour > 0 {
+		vin := queue.VehPerHour(req.ArrivalRateVehPerHour)
+		return func(road.Control) float64 { return vin }
+	}
+	fallback := queue.VehPerHour(s.cfg.FallbackRateVehPerHour)
+	return func(c road.Control) float64 {
+		if f := s.cfg.Faults.PredictorErr; f != nil {
+			if err := f(); err != nil {
+				*degraded = true
+				return fallback
+			}
+		}
+		v, err := s.cfg.ArrivalRate(c, req.DepartTime)
+		if err != nil || v < 0 {
+			*degraded = true
+			return fallback
+		}
+		return v
+	}
+}
+
+// runVariant executes one optimizer variant under ctx, applying the
+// fault-injection seam and the predictor fallback.
+func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request, variant Variant) (*Response, error) {
+	if f := s.cfg.Faults.OptimizeDelay; f != nil {
+		if !sleepCtx(f(variant), ctx.Done()) {
+			return nil, ctx.Err()
+		}
+	}
 	cfg := s.cfg.DPTemplate
 	cfg.Route = route
 	cfg.Vehicle = s.cfg.Vehicle
@@ -329,18 +656,13 @@ func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
 	}
 	horizon := req.DepartTime + cfg.MaxTripSec + 120
 
-	switch req.Variant {
+	predictorDegraded := false
+	switch variant {
 	case VariantGreen:
 		cfg.Windows = dp.GreenWindows(req.DepartTime, horizon)
 	case VariantQueueAware:
-		rate := s.cfg.ArrivalRate
-		if req.ArrivalRateVehPerHour > 0 {
-			vin := queue.VehPerHour(req.ArrivalRateVehPerHour)
-			rate = func(road.Control, float64) float64 { return vin }
-		}
-		wf, err := dp.QueueAwareWindows(s.cfg.QueueParams,
-			func(c road.Control) float64 { return rate(c, req.DepartTime) },
-			req.DepartTime, horizon)
+		rate := s.arrivalRate(req, &predictorDegraded)
+		wf, err := dp.QueueAwareWindows(s.cfg.QueueParams, rate, req.DepartTime, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +671,7 @@ func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
 		cfg.Windows = nil
 	}
 
-	res, err := optimizeDP(cfg)
+	res, err := optimizeDP(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -366,13 +688,14 @@ func (s *Server) optimize(route *road.Route, req Request) (*Response, error) {
 			Name: a.Name, PositionM: a.PositionM, ArrivalSec: a.ArrivalSec, InWindow: a.InWindow,
 		})
 	}
+	if predictorDegraded {
+		out.Degraded, out.DegradedReason = true, DegradedPredictorFallback
+	}
 	return out, nil
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
-	s.mu.Lock()
-	s.stats.Errors++
-	s.mu.Unlock()
+	s.errs.Inc()
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
@@ -412,21 +735,20 @@ type AdviseResponse struct {
 	// Best is the recommended departure (lowest charge among
 	// non-penalized plans).
 	Best AdviseOption `json:"best"`
+	// Degraded is true when any candidate was served off the degradation
+	// ladder (see Response.Degraded); the comparison across candidates is
+	// then apples-to-oranges and the recommendation is best-effort.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // maxAdviseCandidates bounds the sweep size per request.
 const maxAdviseCandidates = 64
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.stats.Requests++
-	s.mu.Unlock()
+	s.requests.Inc()
 
 	var req AdviseRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.StepSec == 0 {
@@ -463,16 +785,24 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
 	resp := &AdviseResponse{}
 	bestIdx, bestCharge := -1, 0.0
 	for depart := req.EarliestDepart; depart <= req.LatestDepart+1e-9; depart += req.StepSec {
-		one, err := s.optimize(route, Request{
+		one, err := s.optimize(ctx, route, Request{
 			Route: req.Route, DepartTime: depart, Variant: req.Variant,
 			ArrivalRateVehPerHour: req.ArrivalRateVehPerHour,
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				s.failRetryable(w, fmt.Sprintf("advise sweep ran out of time at depart %.0f s: %v", depart, err))
+				return
+			}
 			s.fail(w, http.StatusUnprocessableEntity, fmt.Sprintf("depart %.0f s: %v", depart, err))
 			return
+		}
+		if one.Degraded {
+			resp.Degraded = true
 		}
 		opt := AdviseOption{
 			DepartTime: depart, ChargeAh: one.ChargeAh,

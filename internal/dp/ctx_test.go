@@ -1,0 +1,180 @@
+package dp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// fineCtxConfig builds a DP instance large enough that a full run takes
+// many stage iterations (so mid-run cancellation is observable) while a
+// single stage stays cheap (so "returns within one stage" is fast).
+func fineCtxConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	r, err := road.NewRoute(road.RouteConfig{LengthM: 4000, DefaultMaxMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Route:   r,
+		Vehicle: ev.SparkEV(),
+		DsM:     20, DvMS: 0.5, DtSec: 2,
+		MaxTripSec: 600,
+		Workers:    workers,
+	}
+}
+
+// waitGoroutinesBack asserts the goroutine count returns to (near) the
+// pre-test baseline: a cancelled OptimizeCtx must not strand its stage
+// workers.
+func waitGoroutinesBack(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOptimizeCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := OptimizeCtx(ctx, fineCtxConfig(t, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeCtxBackgroundMatchesOptimize(t *testing.T) {
+	cfg := fineCtxConfig(t, 1)
+	cfg.DsM, cfg.DvMS = 100, 1 // coarse: this test runs the DP twice
+	want, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizeCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ChargeAh != want.ChargeAh || got.TripSec != want.TripSec ||
+		got.StatesExpanded != want.StatesExpanded {
+		t.Fatalf("OptimizeCtx(background) diverged: got %+v want %+v", got, want)
+	}
+}
+
+func TestOptimizeCtxCancelReturnsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := OptimizeCtx(ctx, fineCtxConfig(t, workers))
+			done <- err
+		}()
+		// Let the relaxation get going, then pull the plug.
+		time.Sleep(20 * time.Millisecond)
+		start := time.Now()
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: OptimizeCtx hung after cancellation", workers)
+		}
+		// One stage of this grid is well under a second; a multi-second
+		// return would mean cancellation is not checked per stage.
+		if wait := time.Since(start); wait > 2*time.Second {
+			t.Fatalf("workers=%d: returned %v after cancel, want ≤ one stage", workers, wait)
+		}
+		waitGoroutinesBack(t, baseline)
+	}
+}
+
+func TestOptimizeCtxDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, err := OptimizeCtx(ctx, fineCtxConfig(t, 2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSweepDeparturesCtxCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := fineCtxConfig(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := SweepDeparturesCtx(ctx, cfg, 0, 300, 10)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SweepDeparturesCtx hung after cancellation")
+	}
+	waitGoroutinesBack(t, baseline)
+}
+
+func TestSweepDeparturesCtxBackgroundCompletes(t *testing.T) {
+	cfg := fineCtxConfig(t, 2)
+	cfg.DsM, cfg.DvMS = 100, 1
+	cfg.Windows = GreenWindows(0, 2000)
+	_ = cfg.Windows // windows func needs signals; plain route has none
+	opts, err := SweepDeparturesCtx(context.Background(), cfg, 0, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 3 {
+		t.Fatalf("options = %d, want 3", len(opts))
+	}
+}
+
+// TestOptimizeCtxCancelSafeWithWindows exercises cancellation on the
+// queue-aware path (window lookups live inside the relaxation setup).
+func TestOptimizeCtxCancelSafeWithWindows(t *testing.T) {
+	cfg := fineCtxConfig(t, 2)
+	r := road.US25()
+	cfg.Route = r
+	wf, err := QueueAwareWindows(queue.US25Params(),
+		ConstantArrivalRate(queue.VehPerHour(400)), 0, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Windows = wf
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := OptimizeCtx(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queue-aware OptimizeCtx hung after cancellation")
+	}
+}

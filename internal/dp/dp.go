@@ -26,6 +26,7 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -208,6 +209,21 @@ type stageInfo struct {
 
 // Optimize runs the DP and returns the minimum-charge velocity profile.
 func Optimize(cfg Config) (*Result, error) {
+	return OptimizeCtx(context.Background(), cfg)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation. The context is
+// checked at every stage boundary of the relaxation loop, so cancellation
+// is observed within at most one stage's worth of work; the per-stage
+// worker goroutines are always joined before the check, so an abandoned
+// run leaks no goroutines and leaves no shared state behind (every array
+// the pass touches is owned by this call). The returned error is ctx.Err()
+// verbatim, so callers can match context.Canceled / DeadlineExceeded with
+// errors.Is.
+func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -270,6 +286,11 @@ func Optimize(cfg Config) (*Result, error) {
 	exact := make([][]float64, n+1)
 	back := make([][]int32, n+1) // packed prev j<<16 | k; -1 = none
 	for i := range cost {
+		// Allocating and seeding the value arrays can dominate start-up on
+		// fine grids, so the cancellation contract covers it per stage too.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cost[i] = make([]float64, width)
 		exact[i] = make([]float64, width)
 		back[i] = make([]int32, width)
@@ -290,6 +311,12 @@ func Optimize(cfg Config) (*Result, error) {
 
 	expanded := 0
 	for i := 0; i < n; i++ {
+		// Stage boundary: the previous stage's workers are already joined
+		// (stageRelax.run waits on its WaitGroup), so returning here
+		// abandons only this call's private arrays.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur, nxt := stages[i], stages[i+1]
 		ws, hasWin := windows[i+1]
 		sr := &stageRelax{

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -35,6 +36,15 @@ type DepartureOption struct {
 // from + i·step rather than accumulated, so long sweeps stay on-grid
 // instead of drifting in floating point.
 func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, error) {
+	return SweepDeparturesCtx(context.Background(), cfg, from, to, step)
+}
+
+// SweepDeparturesCtx is SweepDepartures with cooperative cancellation:
+// each departure's DP observes ctx at its stage boundaries, and departures
+// not yet dispatched when ctx dies are skipped. The pool is always joined
+// before returning, so cancellation leaks no goroutines. A cancelled sweep
+// reports an error wrapping ctx.Err() (match with errors.Is).
+func SweepDeparturesCtx(ctx context.Context, cfg Config, from, to, step float64) ([]DepartureOption, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("dp: sweep step %.2f s must be positive", step)
 	}
@@ -55,7 +65,7 @@ func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, err
 		// goroutine count stays bounded by `workers` (results are identical
 		// for any worker count).
 		c.Workers = 1
-		res, err := Optimize(c)
+		res, err := OptimizeCtx(ctx, c)
 		if err != nil {
 			return fmt.Errorf("dp: sweep at depart %.1f s: %w", depart, err)
 		}

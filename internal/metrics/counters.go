@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone, concurrency-safe service counter. The zero value
+// is ready to use. It complements this package's offline error measures
+// (MRE/RMSE) with the online counters the cloud service exports via
+// /v1/stats.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.n.Add(1) }
+
+// Add adds d (which may be negative only in tests; service counters are
+// monotone by convention) and returns the new value.
+func (c *Counter) Add(d int64) int64 { return c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// LabeledCounter counts events per string label — e.g. degraded responses
+// by degradation reason. The zero value is ready to use.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Inc increments the count for label.
+func (c *LabeledCounter) Inc(label string) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[label]++
+	c.mu.Unlock()
+}
+
+// Value returns the count for label (0 when never seen).
+func (c *LabeledCounter) Value(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[label]
+}
+
+// Total returns the sum over all labels.
+func (c *LabeledCounter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, n := range c.m {
+		t += n
+	}
+	return t
+}
+
+// Snapshot returns a copy of the per-label counts (nil when empty), safe
+// for the caller to serialize without holding any lock.
+func (c *LabeledCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	if c.Inc() != 1 || c.Add(4) != 5 || c.Value() != 5 {
+		t.Fatalf("counter arithmetic wrong: %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 1600 {
+		t.Fatalf("lost updates: %d", c.Value())
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	var c LabeledCounter
+	if c.Snapshot() != nil || c.Total() != 0 || c.Value("x") != 0 {
+		t.Fatal("zero value not empty")
+	}
+	c.Inc("green-fallback")
+	c.Inc("green-fallback")
+	c.Inc("stale-cache")
+	if c.Value("green-fallback") != 2 || c.Value("stale-cache") != 1 || c.Total() != 3 {
+		t.Fatalf("counts wrong: %v", c.Snapshot())
+	}
+	snap := c.Snapshot()
+	snap["green-fallback"] = 99 // mutating the snapshot must not alias
+	if c.Value("green-fallback") != 2 {
+		t.Fatal("snapshot aliases internal map")
+	}
+}
+
+func TestLabeledCounterConcurrent(t *testing.T) {
+	var c LabeledCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label := []string{"a", "b"}[i%2]
+			for j := 0; j < 100; j++ {
+				c.Inc(label)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value("a") != 400 || c.Value("b") != 400 {
+		t.Fatalf("lost updates: %v", c.Snapshot())
+	}
+}
