@@ -1,0 +1,92 @@
+// Command evlint runs the repo's custom static-analysis suite
+// (internal/lint) over the given packages — a multichecker in the mold
+// of golang.org/x/tools/go/analysis/multichecker, built on the standard
+// library only so it works in this module's offline build.
+//
+// Usage:
+//
+//	evlint [-list] [-run name[,name...]] [packages...]
+//
+// With no packages, ./... is linted. Exit status is 1 when any active
+// finding remains; findings suppressed with //lint:allow pragmas do not
+// fail the run but are summarized on stderr so every waiver stays
+// visible in CI logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"evvo/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print analyzer names and one-line docs, then exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.ShortDoc())
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "evlint: unknown analyzer %q (see evlint -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+	res, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+
+	for _, d := range res.Active {
+		fmt.Fprintln(stdout, lint.FormatDiagnostic(res.Fset, d))
+	}
+	if len(res.Allowed) > 0 {
+		fmt.Fprintf(stderr, "evlint: %d finding(s) suppressed by //lint:allow:\n", len(res.Allowed))
+		for _, d := range res.Allowed {
+			reason := d.Reason
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			fmt.Fprintf(stderr, "  %s: %s: %s — allowed: %s\n",
+				res.Fset.Position(d.Pos), d.Analyzer, d.Message, reason)
+		}
+	}
+	if len(res.Active) > 0 {
+		fmt.Fprintf(stderr, "evlint: %d finding(s) in %d package(s)\n", len(res.Active), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList: -list prints every analyzer with a one-line doc.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("evlint -list = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"ctxcheck", "unitcheck", "floateq", "atomiccounter"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("evlint -list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer: a bad -run name is a usage error, not a crash.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("evlint -run nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errb.String())
+	}
+}
+
+// TestSelfClean: evlint linting its own package must exit 0 — the suite
+// eats its own dog food.
+func TestSelfClean(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"."}, &out, &errb); code != 0 {
+		t.Fatalf("evlint over cmd/evlint = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

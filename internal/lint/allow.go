@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPragma is one parsed //lint:allow <analyzer> <reason> comment. It
+// suppresses findings of the named analyzer on its own line and on the
+// line directly below (so the pragma can sit above the offending
+// statement, like a //nolint directive).
+type allowPragma struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// allowSet indexes pragmas by file for cheap position matching.
+type allowSet map[string][]allowPragma
+
+const allowPrefix = "//lint:allow"
+
+// parseAllow parses a single comment into a pragma, if it is one.
+func parseAllow(c *ast.Comment) (analyzer, reason string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	name, reason, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(reason), true
+}
+
+// collectAllows gathers every //lint:allow pragma in the package.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set[pos.Filename] = append(set[pos.Filename], allowPragma{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   reason,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// match reports whether a pragma for analyzer covers pos: same line
+// (trailing comment) or the line immediately above (standalone comment).
+func (s allowSet) match(fset *token.FileSet, analyzer string, pos token.Pos) (string, bool) {
+	p := fset.Position(pos)
+	for _, a := range s[p.Filename] {
+		if a.analyzer != analyzer {
+			continue
+		}
+		if a.line == p.Line || a.line == p.Line-1 {
+			return a.reason, true
+		}
+	}
+	return "", false
+}

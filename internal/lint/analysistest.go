@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture harness needs; an interface
+// keeps the production lint package from importing package testing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads the GOPATH-style fixture package pkgpath from
+// testdata/src, runs the analyzer over it, and compares the active
+// diagnostics against `// want "regexp"` comments in the fixture source —
+// the same contract as x/tools' analysistest, reimplemented here because
+// the module builds offline. Every diagnostic must be matched by a want
+// on its line, and every want must match at least one diagnostic.
+// Diagnostics suppressed by //lint:allow pragmas are returned (not
+// matched against wants) so tests can assert on suppression explicitly.
+func RunFixture(t TB, a *Analyzer, pkgpath string) *Result {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src"), pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+		return nil
+	}
+	res, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+		return nil
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range res.Active {
+		p := pkg.Fset.Position(d.Pos)
+		if !wants.match(p, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matched `want %q`", w.file, w.line, w.re.String())
+	}
+	return res
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ byFile map[string][]*want }
+
+// collectWants parses `// want "re1" "re2"` comments from the fixture.
+func collectWants(t TB, pkg *Package) *wantSet {
+	t.Helper()
+	set := &wantSet{byFile: make(map[string][]*want)}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range splitQuoted(strings.TrimPrefix(text, "want ")) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, lit, err)
+						return set
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						return set
+					}
+					set.byFile[pos.Filename] = append(set.byFile[pos.Filename],
+						&want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return set
+}
+
+// splitQuoted splits a want payload into its quoted segments. Both
+// double-quoted and backquoted patterns are accepted; backquotes are the
+// usual choice since regexps are full of backslashes.
+func splitQuoted(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		quote := s[i]
+		j := i + 1
+		for j < len(s) {
+			if quote == '"' && s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == quote {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+	return out
+}
+
+func (ws *wantSet) match(p token.Position, msg string) bool {
+	for _, w := range ws.byFile[p.Filename] {
+		if w.line == p.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, ws := range ws.byFile {
+		for _, w := range ws {
+			if !w.matched {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// FormatDiagnostic renders a diagnostic the way cmd/evlint prints it.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	res := lint.RunFixture(t, lint.AtomicCounter, "atomiccounter/a")
+	if len(res.Allowed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1 (the single-writer pragma)", len(res.Allowed))
+	}
+}

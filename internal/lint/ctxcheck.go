@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces PR 3's cancellation contract in the cloud layer
+// (internal/cloud and cmd/cloudd):
+//
+//  1. DP entry points must be the context-aware ones — dp.OptimizeCtx /
+//     dp.SweepDeparturesCtx — never the context-free dp.Optimize /
+//     dp.SweepDepartures, which would detach a solve from the request
+//     deadline and keep it burning after the client is gone.
+//  2. Handler and middleware code must not mint fresh root contexts with
+//     context.Background() or context.TODO(): the request context carries
+//     the deadline, and a fresh root silently discards it. The check
+//     applies to any function that handles HTTP traffic (parameters
+//     include http.ResponseWriter / *http.Request), builds handlers
+//     (results include http.Handler / http.HandlerFunc), or already
+//     receives a context.Context — plus every function literal nested in
+//     one. Top-level plumbing such as main() or a graceful-shutdown
+//     drain is deliberately out of scope.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "cloud request paths must stay on context-aware DP calls and never mint root contexts\n\n" +
+		"Flags dp.Optimize/dp.SweepDepartures anywhere in internal/cloud or cmd/cloudd, and\n" +
+		"context.Background()/context.TODO() inside handler or middleware call chains.",
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	if !pathHasSegments(pass.PkgPath, "internal/cloud") && !pathHasSegments(pass.PkgPath, "cmd/cloudd") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// handlerDepth > 0 while the walk is inside a function (or a
+		// literal nested in one) that belongs to a request path.
+		var sigStack []bool
+		inHandlerChain := func() bool {
+			for _, h := range sigStack {
+				if h {
+					return true
+				}
+			}
+			return false
+		}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				sig, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+				pushed := sig != nil && isRequestPathSignature(sig.Type().(*types.Signature))
+				sigStack = append(sigStack, pushed)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				sigStack = sigStack[:len(sigStack)-1]
+				return false
+			case *ast.FuncLit:
+				sig, _ := pass.TypesInfo.Types[n].Type.(*types.Signature)
+				sigStack = append(sigStack, sig != nil && isRequestPathSignature(sig))
+				ast.Inspect(n.Body, walk)
+				sigStack = sigStack[:len(sigStack)-1]
+				return false
+			case *ast.CallExpr:
+				pkgPath, funcName, ok := calledPackageFunc(pass, n)
+				if !ok {
+					return true
+				}
+				if lastSegment(pkgPath) == "dp" && (funcName == "Optimize" || funcName == "SweepDepartures") {
+					pass.Reportf(n.Pos(),
+						"context-free dp.%s in cloud code: call dp.%sCtx so the request deadline cancels the solve",
+						funcName, funcName)
+				}
+				if pkgPath == "context" && (funcName == "Background" || funcName == "TODO") && inHandlerChain() {
+					pass.Reportf(n.Pos(),
+						"context.%s() minted inside a handler/middleware chain discards the request deadline; thread the request context instead",
+						funcName)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// isRequestPathSignature reports whether a function signature marks
+// request-path code: it serves HTTP (ResponseWriter/Request parameters),
+// constructs handlers or middleware (Handler/HandlerFunc results), or
+// already carries a context.Context and so has no business creating a
+// fresh root.
+func isRequestPathSignature(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch types.TypeString(sig.Params().At(i).Type(), nil) {
+		case "net/http.ResponseWriter", "*net/http.Request", "context.Context":
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		switch types.TypeString(sig.Results().At(i).Type(), nil) {
+		case "net/http.Handler", "net/http.HandlerFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// calledPackageFunc resolves a call of the form pkg.Func and returns the
+// imported package's path and the function name.
+func calledPackageFunc(pass *Pass, call *ast.CallExpr) (pkgPath, funcName string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestCtxCheckCloudPackage(t *testing.T) {
+	lint.RunFixture(t, lint.CtxCheck, "ctxcheck/internal/cloud")
+}
+
+func TestCtxCheckCloudd(t *testing.T) {
+	lint.RunFixture(t, lint.CtxCheck, "ctxcheck/cmd/cloudd")
+}
+
+// TestCtxCheckOutOfScope: packages outside internal/cloud and cmd/cloudd
+// may use the context-free DP API (batch tools, experiments); the
+// analyzer must stay silent there.
+func TestCtxCheckOutOfScope(t *testing.T) {
+	res := lint.RunFixture(t, lint.CtxCheck, "ctxcheck/other")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("ctxcheck fired %d finding(s) outside the cloud layer", n)
+	}
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestFloatEq(t *testing.T) {
+	res := lint.RunFixture(t, lint.FloatEq, "floateq/dp")
+	if len(res.Allowed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1 (the tie-break pragma)", len(res.Allowed))
+	}
+}
+
+// TestFloatEqOutOfScope: only the numeric packages are policed; float
+// equality elsewhere is out of this analyzer's jurisdiction.
+func TestFloatEqOutOfScope(t *testing.T) {
+	res := lint.RunFixture(t, lint.FloatEq, "floateq/web")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("floateq fired %d finding(s) outside the numeric packages", n)
+	}
+}

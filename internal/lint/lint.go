@@ -1,0 +1,35 @@
+package lint
+
+import "strings"
+
+// All returns the full analyzer suite in the order cmd/evlint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{CtxCheck, UnitCheck, FloatEq, AtomicCounter}
+}
+
+// ByName resolves an analyzer by its pragma/CLI name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// pathHasSegments reports whether the slash-separated import path
+// contains want ("internal/cloud", "dp", …) as a run of complete
+// segments. Matching by segments, not substrings, lets fixture packages
+// under testdata/src mimic real packages by path shape — e.g.
+// "ctxcheck/internal/cloud/api" scopes like "evvo/internal/cloud".
+func pathHasSegments(path, want string) bool {
+	return strings.Contains("/"+path+"/", "/"+want+"/")
+}
+
+// lastSegment returns the final slash-separated element of path.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

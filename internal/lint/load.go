@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis. It is
+// the subset of golang.org/x/tools/go/packages.Package the analyzers
+// need.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// loader owns a process-wide cache of type-checked packages. Everything
+// is keyed by import path on one shared FileSet, so the standard-library
+// closure — type-checked from source, API only, because this module
+// builds offline with no export data and no x/tools — is paid for once
+// per process no matter how many analyzer tests or lint runs follow.
+type loader struct {
+	mu    sync.Mutex
+	fset  *token.FileSet
+	types map[string]*types.Package
+}
+
+var world = &loader{fset: token.NewFileSet(), types: make(map[string]*types.Package)}
+
+// LoadPackages runs `go list` with the given patterns in dir and returns
+// the matched packages, fully type-checked with types.Info populated.
+// Dependencies (standard library included) are type-checked from source
+// with function bodies skipped: the analyzers only need their API.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	world.mu.Lock()
+	defer world.mu.Unlock()
+	list, err := goList(dir, append([]string{"-deps", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range list {
+		if lp.DepOnly {
+			if err := world.ensureDep(lp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pkg, err := world.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ensureDep type-checks a dependency-only package (API surface only) and
+// caches it for importers.
+func (ld *loader) ensureDep(lp *listPkg) error {
+	if lp.ImportPath == "unsafe" {
+		ld.types["unsafe"] = types.Unsafe
+		return nil
+	}
+	if _, ok := ld.types[lp.ImportPath]; ok {
+		return nil
+	}
+	if lp.Error != nil {
+		return fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	files, err := parseDir(ld.fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return err
+	}
+	cfg := ld.config(lp.ImportMap)
+	cfg.IgnoreFuncBodies = true
+	tpkg, err := cfg.Check(lp.ImportPath, ld.fset, files, nil)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking dependency %s: %w", lp.ImportPath, err)
+	}
+	ld.types[lp.ImportPath] = tpkg
+	return nil
+}
+
+// check fully type-checks a target package, recording types.Info.
+func (ld *loader) check(lp *listPkg) (*Package, error) {
+	if lp.Error != nil {
+		return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	files, err := parseDir(ld.fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	cfg := ld.config(lp.ImportMap)
+	tpkg, err := cfg.Check(lp.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	if _, ok := ld.types[lp.ImportPath]; !ok {
+		ld.types[lp.ImportPath] = tpkg
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Fset:      ld.fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// config builds a types.Config whose importer resolves against the cache,
+// applying the package's vendor ImportMap first.
+func (ld *loader) config(importMap map[string]string) *types.Config {
+	return &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if p, ok := ld.types[path]; ok {
+				return p, nil
+			}
+			return nil, fmt.Errorf("lint: import %q not loaded", path)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// ensureStd loads and API-checks the standard-library closure of path.
+// Called with ld.mu held.
+func (ld *loader) ensureStd(dir, path string) error {
+	if _, ok := ld.types[path]; ok {
+		return nil
+	}
+	list, err := goList(dir, []string{"-deps", "--", path})
+	if err != nil {
+		return err
+	}
+	for _, lp := range list {
+		if err := ld.ensureDep(lp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// goList shells out to `go list -e -json`. Extra flags (e.g. -deps) ride
+// in front of the patterns; CGO is disabled so the reported file sets are
+// pure Go and type-checkable from source.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v: %s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var list []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		list = append(list, lp)
+	}
+	return list, nil
+}
+
+// LoadFixture loads a GOPATH-style fixture package rooted at root
+// (typically internal/lint/testdata/src): imports that resolve to
+// directories under root are loaded recursively as fixture packages;
+// everything else is treated as standard library. This mirrors how
+// x/tools' analysistest presents testdata to analyzers.
+func LoadFixture(root, pkgpath string) (*Package, error) {
+	world.mu.Lock()
+	defer world.mu.Unlock()
+	return world.fixture(root, pkgpath, make(map[string]bool))
+}
+
+func (ld *loader) fixture(root, pkgpath string, loading map[string]bool) (*Package, error) {
+	if loading[pkgpath] {
+		return nil, fmt.Errorf("lint: fixture import cycle through %q", pkgpath)
+	}
+	loading[pkgpath] = true
+	defer delete(loading, pkgpath)
+
+	dir := filepath.Join(root, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %w", pkgpath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s: no Go files in %s", pkgpath, dir)
+	}
+	files, err := parseDir(ld.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve imports: fixture-local packages first, stdlib otherwise.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "unsafe" {
+				continue
+			}
+			if _, ok := ld.types[path]; ok {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+				sub, err := ld.fixture(root, path, loading)
+				if err != nil {
+					return nil, err
+				}
+				ld.types[path] = sub.Types
+				continue
+			}
+			if err := ld.ensureStd(root, path); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	info := newInfo()
+	cfg := ld.config(nil)
+	tpkg, err := cfg.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", pkgpath, err)
+	}
+	ld.types[pkgpath] = tpkg
+	return &Package{
+		PkgPath:   pkgpath,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,87 @@
+// Package a exercises atomiccounter: captured writes in par.ForEach
+// workers and goroutines, plus metrics-counter overwrites.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atomiccounter/metrics"
+	"atomiccounter/par"
+)
+
+var requests metrics.Counter
+
+func workers(items []float64) float64 {
+	var total float64
+	var count int
+	var seen = map[int]bool{}
+	var atomicTotal atomic.Int64
+	out := make([]float64, len(items))
+
+	_ = par.ForEach(4, len(items), func(i int) error {
+		total += items[i] // want `captured "total" written inside a par\.ForEach worker`
+		count++           // want `captured "count" written inside a par\.ForEach worker`
+		seen[i] = true    // want `captured "seen" written inside a par\.ForEach worker`
+
+		// The blessed patterns. False-positive guards:
+		out[i] = items[i] * 2 // index-addressed slot (par's contract)
+		atomicTotal.Add(1)    // sync/atomic (a method call, not a write)
+		requests.Inc()        // metrics API
+		local := items[i]     // worker-local state
+		local *= 2
+		_ = local
+		return nil
+	})
+	return total
+}
+
+// goroutines get the same treatment as par workers.
+func spawn(n int) {
+	done := 0
+	go func() {
+		done = 1 // want `captured "done" written inside a goroutine`
+	}()
+	_ = done
+}
+
+// mutexed: a worker that takes a lock before writing is trusted — the
+// race detector, not the linter, polices lock correctness.
+// False-positive guard.
+func mutexed(items []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	_ = par.ForEach(4, len(items), func(i int) error {
+		mu.Lock()
+		total += items[i]
+		mu.Unlock()
+		return nil
+	})
+	return total
+}
+
+// reset overwrites a counter wholesale: that resets it non-atomically
+// and copies its internal state.
+func reset() {
+	requests = metrics.Counter{} // want `metrics counter overwritten wholesale`
+}
+
+// serialAccumulate: writes outside any worker are ordinary single-
+// goroutine code. False-positive guard.
+func serialAccumulate(items []float64) float64 {
+	total := 0.0
+	for _, x := range items {
+		total += x
+	}
+	return total
+}
+
+// allowPragma: an intentional single-writer capture can be waived.
+func allowPragma() {
+	started := false
+	go func() {
+		//lint:allow atomiccounter single write before any reader starts
+		started = true
+	}()
+	_ = started
+}

@@ -1,0 +1,10 @@
+// Package metrics is the fixture twin of evvo/internal/metrics.
+package metrics
+
+import "sync/atomic"
+
+type Counter struct{ n atomic.Int64 }
+
+func (c *Counter) Inc() int64        { return c.n.Add(1) }
+func (c *Counter) Add(d int64) int64 { return c.n.Add(d) }
+func (c *Counter) Value() int64      { return c.n.Load() }

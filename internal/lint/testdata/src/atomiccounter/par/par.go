@@ -1,0 +1,12 @@
+// Package par is the fixture twin of evvo/internal/par: atomiccounter
+// matches ForEach by the final import-path segment.
+package par
+
+func ForEach(workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+// Command cloudd (fixture): the path ends in cmd/cloudd, so ctxcheck is
+// in scope, but top-level lifecycle code may mint root contexts.
+package main
+
+import (
+	"context"
+	"net/http"
+
+	"ctxcheck/dp"
+)
+
+// main and the graceful-shutdown drain legitimately create root
+// contexts: neither carries HTTP types nor receives a context.
+// False-positive guards.
+func main() {
+	ctx := context.Background()
+	_, _ = dp.OptimizeCtx(ctx, dp.Config{})
+	serve(nil)
+}
+
+func serve(stop <-chan struct{}) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_ = ctx
+}
+
+// handle is request-path code even inside package main.
+func handle(w http.ResponseWriter, r *http.Request) {
+	_, _ = dp.Optimize(dp.Config{}) // want `context-free dp\.Optimize in cloud code`
+	_ = context.Background()        // want `context\.Background\(\) minted inside a handler/middleware chain`
+}

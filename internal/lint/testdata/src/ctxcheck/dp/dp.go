@@ -1,0 +1,19 @@
+// Package dp is a fixture stand-in for evvo/internal/dp: ctxcheck
+// matches the DP package by final import-path segment.
+package dp
+
+import "context"
+
+type Config struct{}
+
+type Result struct{}
+
+func Optimize(cfg Config) (*Result, error) { return &Result{}, nil }
+
+func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) { return &Result{}, nil }
+
+func SweepDepartures(cfg Config, from, to, step float64) ([]*Result, error) { return nil, nil }
+
+func SweepDeparturesCtx(ctx context.Context, cfg Config, from, to, step float64) ([]*Result, error) {
+	return nil, nil
+}

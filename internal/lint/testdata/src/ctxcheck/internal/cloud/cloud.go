@@ -1,0 +1,50 @@
+// Package cloud exercises ctxcheck: its fixture path ends in
+// internal/cloud, so the analyzer treats it as the real cloud layer.
+package cloud
+
+import (
+	"context"
+	"net/http"
+
+	"ctxcheck/dp"
+)
+
+// handler is request-path code: both the context-free DP call and the
+// fresh root context are violations.
+func handler(w http.ResponseWriter, r *http.Request) {
+	_, _ = dp.Optimize(dp.Config{})                 // want `context-free dp\.Optimize in cloud code`
+	ctx := context.Background()                     // want `context\.Background\(\) minted inside a handler/middleware chain`
+	_, _ = dp.OptimizeCtx(ctx, dp.Config{})         // the Ctx variant itself is fine
+	_, _ = dp.SweepDepartures(dp.Config{}, 0, 1, 1) // want `context-free dp\.SweepDepartures in cloud code`
+}
+
+// middleware builds a handler; minting a root context inside the chain
+// discards the request deadline.
+func middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := context.TODO() // want `context\.TODO\(\) minted inside a handler/middleware chain`
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// alreadyHasContext receives a context: creating a fresh root here
+// breaks the deadline chain just the same.
+func alreadyHasContext(ctx context.Context) error {
+	_, err := dp.SweepDeparturesCtx(context.Background(), dp.Config{}, 0, 1, 1) // want `context\.Background\(\) minted inside a handler/middleware chain`
+	return err
+}
+
+// setup is NOT request-path code (no HTTP types, no incoming context):
+// background contexts for process-lifetime plumbing are legitimate.
+// False-positive guard.
+func setup() context.Context {
+	return context.Background()
+}
+
+// startWorkers spawns process-lifetime goroutines from setup code; the
+// nested literal inherits the non-handler scope. False-positive guard.
+func startWorkers() {
+	go func() {
+		_ = context.Background()
+	}()
+}

@@ -1,0 +1,16 @@
+// Package other is outside the cloud layer: ctxcheck must not fire here
+// even on patterns that would be violations in internal/cloud.
+// False-positive guard.
+package other
+
+import (
+	"context"
+	"net/http"
+
+	"ctxcheck/dp"
+)
+
+func batchTool(w http.ResponseWriter, r *http.Request) {
+	_, _ = dp.Optimize(dp.Config{})
+	_ = context.Background()
+}

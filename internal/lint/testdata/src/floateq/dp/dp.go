@@ -1,0 +1,39 @@
+// Package dp (fixture) exercises floateq: the final path segment "dp"
+// marks it as one of the numeric packages in scope.
+package dp
+
+import "math"
+
+func compare(a, b float64, xs []float32) {
+	_ = a == b     // want `floating-point == comparison`
+	_ = a != b     // want `floating-point != comparison`
+	_ = xs[0] == 1 // want `floating-point == comparison`
+
+	// Comparisons against zero are the blessed "field not set" sentinel
+	// used throughout the Config defaulting code. False-positive guards.
+	_ = a == 0
+	_ = a != 0.0
+	_ = b == -0.0
+
+	// Integer equality is not floateq's business. False-positive guard.
+	i, j := 1, 2
+	_ = i == j
+
+	// The idiomatic replacements never trip the analyzer.
+	_ = math.Abs(a-b) < 1e-9
+	_ = math.IsInf(a, 1)
+}
+
+// tieBreak shows the narrowly-scoped waiver: an intentional exact
+// comparison carries a pragma and surfaces in the evlint summary
+// instead of failing the build.
+func tieBreak(cost, best float64) bool {
+	//lint:allow floateq exact tie-break on identical arithmetic is intended
+	return cost == best
+}
+
+const unset = 0.0
+
+// constSentinel: named zero constants fold to the same sentinel.
+// False-positive guard.
+func constSentinel(x float64) bool { return x == unset }

@@ -1,0 +1,5 @@
+// Package web is outside floateq's numeric-package scope: float
+// equality here is someone else's problem. False-positive guard.
+package web
+
+func ratio(a, b float64) bool { return a == b }

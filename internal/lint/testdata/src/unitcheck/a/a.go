@@ -1,0 +1,74 @@
+// Package a exercises unitcheck's mixing and raw-constant rules.
+package a
+
+// KmhToMps mirrors the blessed internal/units converter by name; the
+// analyzer recognizes converters by function name, so fixtures can
+// declare their own.
+func KmhToMps(kmh float64) float64 { return kmh / 3.6 } // want `raw unit-conversion constant 3\.6`
+
+func mixing(tripSec, waitMs, vKmh, vMS, lenM, chargeAh, energyWh, energyJ float64) {
+	_ = tripSec + waitMs    // want `unit mix: time \[Sec\] \+ time \[Ms\]`
+	_ = vKmh < vMS          // want `unit mix: speed \[Kmh\] < speed \[MS\]`
+	_ = chargeAh - lenM     // want `unit mix: charge \[Ah\] - length \[M\]`
+	_ = energyWh == energyJ // want `unit mix: energy \[Wh\] == energy \[J\]`
+
+	var tripMs float64
+	tripMs = tripSec // want `unit mix: assigning time \[Sec\] to time \[Ms\]`
+	_ = tripMs
+
+	headwaySec := lenM // want `unit mix: assigning length \[M\] to time \[Sec\]`
+	_ = headwaySec
+
+	var restSec = lenM // want `unit mix: time \[Sec\] declared from length \[M\]`
+	_ = restSec
+
+	// Same units: fine. False-positive guards.
+	_ = tripSec + 2*tripSec
+	total := tripSec
+	// The raw-constant rule still catches a division smuggled into a
+	// compound assignment:
+	total += waitMs / 1000 // want `raw conversion factor 1000 applied to unit-suffixed time \[Ms\]`
+	_ = total
+
+	// Explicit conversion through a blessed helper adopts the target
+	// unit, so no mix is reported. False-positive guard.
+	_ = vMS < KmhToMps(vKmh)
+}
+
+func rawConstants(chargeAh, speedMS float64) {
+	_ = chargeAh * 1000 // want `raw conversion factor 1000 applied to unit-suffixed charge \[Ah\]`
+	_ = speedMS * 3.6   // want `raw unit-conversion constant 3\.6`
+	_ = 3.6e6           // want `raw unit-conversion constant 3\.6e6`
+
+	// 1000 and 3600 in unit-free contexts are ordinary numbers.
+	// False-positive guards.
+	buf := make([]float64, 1000)
+	_ = buf
+	iterations := 3600
+	_ = iterations
+
+	const maxDriveSec = 4 * 3600 // want `raw conversion factor 3600 applied to unit-suffixed time \[Sec\]`
+}
+
+// indexedUnits: element access keeps the slice's advertised unit.
+func indexedUnits(speedsKmh []float64, vMS float64) {
+	_ = speedsKmh[0] > vMS // want `unit mix: speed \[Kmh\] > speed \[MS\]`
+}
+
+// loop indices named like maxJ are ints, not joules: the one-letter J
+// suffix only binds to float-typed expressions. False-positive guard.
+func notJoules(cells []float64) float64 {
+	maxJ := len(cells) - 1
+	sum := 0.0
+	for j := 0; j <= maxJ; j++ {
+		sum += cells[j]
+	}
+	return sum
+}
+
+// allowPragma: a narrowly-scoped waiver suppresses the finding but is
+// reported in evlint's summary.
+func allowPragma(vKmh, vMS float64) {
+	//lint:allow unitcheck comparing raw magnitudes across units is intended here
+	_ = vKmh > vMS
+}

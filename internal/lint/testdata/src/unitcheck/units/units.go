@@ -1,0 +1,14 @@
+// Package units is the fixture twin of evvo/internal/units: any package
+// whose path ends in "units" may hold raw conversion constants — it is
+// the one blessed home for them. False-positive guard: no findings here.
+package units
+
+const (
+	KmhPerMps  = 3.6
+	SecPerHour = 3600.0
+	MAhPerAh   = 1000.0
+)
+
+func KmhToMps(kmh float64) float64 { return kmh / KmhPerMps }
+
+func legacy(vKmh float64) float64 { return vKmh / 3.6 }

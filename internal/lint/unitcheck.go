@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitCheck mechanically enforces the repo's physical-unit naming
+// convention. The paper's energy claims (Fig. 6/7) survive only if every
+// quantity stays in the unit its identifier advertises — the DP grid is
+// SI (m, m/s, s, Ah) end to end — and related eco-driving reproductions
+// are littered with silent km/h-vs-m/s and Wh-vs-J slips. Two rules:
+//
+//  1. No mixing: additive arithmetic, comparisons, and assignments
+//     between identifiers whose suffixes advertise different units
+//     (xSec + yMs, vKmh < vMS, tripMs = tripSec) are flagged. Conversion
+//     must be explicit through an internal/units (or road.KmhToMs /
+//     road.MsToKmh) helper, whose result adopts the target unit.
+//  2. No raw conversion constants: the magic factors 3.6 (and 3.6e6)
+//     anywhere, and 3600 / 1000 when multiplied into or assigned to a
+//     unit-suffixed quantity, belong in internal/units — one blessed
+//     home per constant, so a fat-fingered 3600-for-3.6 cannot hide.
+//
+// The suffix vocabulary follows the existing tree: Sec (seconds), Ms
+// (milliseconds), MS (meters/second — the repo's historical spelling),
+// MS2 (m/s²), Kmh, VehPerHour/VehPerSec, Ah/MAh/mAh, Wh/KWh/J, KW, M
+// (meters). The one-letter suffixes J and M only count on float-typed
+// expressions, so loop indices like maxJ and identifiers like sum stay
+// out of scope.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc: "unit-suffixed quantities must not mix units; conversion constants live in internal/units\n\n" +
+		"Flags additive/comparison/assignment mixing of identifiers with incompatible unit\n" +
+		"suffixes (Sec/Ms, MS/Kmh, Ah/MAh, Wh/J, …) and raw 3.6/3600/1000 conversion\n" +
+		"factors outside the blessed internal/units helpers.",
+	Run: runUnitCheck,
+}
+
+// A unitDim is a physical dimension; units of the same dimension but
+// different scale (Sec vs Ms) still conflict — that is the whole point.
+type unitDim string
+
+const (
+	dimTime   unitDim = "time"
+	dimSpeed  unitDim = "speed"
+	dimAccel  unitDim = "acceleration"
+	dimLength unitDim = "length"
+	dimFlow   unitDim = "traffic flow"
+	dimCharge unitDim = "charge"
+	dimEnergy unitDim = "energy"
+	dimPower  unitDim = "power"
+)
+
+// A unit is one recognized identifier suffix.
+type unit struct {
+	suffix    string
+	dim       unitDim
+	floatOnly bool // one-letter suffixes need a float type to count
+}
+
+// unitTable is ordered longest-suffix-first so MS2 wins over MS, MAh
+// over Ah, and so on. Matching is case-sensitive: MS is meters/second
+// (the tree's convention for speeds), Ms is milliseconds.
+var unitTable = []unit{
+	{suffix: "VehPerHour", dim: dimFlow},
+	{suffix: "VehPerSec", dim: dimFlow},
+	{suffix: "MAh", dim: dimCharge},
+	{suffix: "mAh", dim: dimCharge},
+	{suffix: "KWh", dim: dimEnergy},
+	{suffix: "MS2", dim: dimAccel},
+	{suffix: "Kmh", dim: dimSpeed},
+	{suffix: "Sec", dim: dimTime},
+	{suffix: "Wh", dim: dimEnergy},
+	{suffix: "KW", dim: dimPower},
+	{suffix: "MS", dim: dimSpeed},
+	{suffix: "Ms", dim: dimTime},
+	{suffix: "Ah", dim: dimCharge},
+	{suffix: "J", dim: dimEnergy, floatOnly: true},
+	{suffix: "M", dim: dimLength, floatOnly: true},
+}
+
+// wholeIdentUnits recognizes a few bare lowercase identifiers that the
+// tree uses as unit-bearing locals ("ah", "kmh", …). Deliberately tiny:
+// bare "m", "j", "s" are too ambiguous to claim.
+var wholeIdentUnits = map[string]string{
+	"sec":    "Sec",
+	"ms":     "Ms",
+	"kmh":    "Kmh",
+	"mps":    "MS",
+	"ah":     "Ah",
+	"mah":    "MAh",
+	"wh":     "Wh",
+	"joules": "J",
+	"meters": "M",
+}
+
+// converterResults maps blessed conversion helpers (package internal/units,
+// plus the two road-package veterans) to the unit suffix of their result.
+// A call to one of these adopts that unit, which is what makes explicit
+// conversion pass the mixing check.
+var converterResults = map[string]string{
+	"KmhToMps": "MS", "MpsToKmh": "Kmh",
+	"KmhToMs": "MS", "MsToKmh": "Kmh", // road package spelling
+	"SecToMs": "Ms", "MsToSec": "Sec",
+	"AhToMAh": "MAh", "MAhToAh": "Ah",
+	"WhToJ": "J", "JToWh": "Wh",
+	"KWhToJ": "J", "JToKWh": "KWh",
+	"KWToW": "", "WToKW": "KW", // plain watts carry no suffix in the tree
+	"MToKm": "", "KmToM": "M",
+	"AhToCoulombs": "", "HoursToSec": "Sec", "SecToHours": "",
+	"VehPerHourToVehPerSec": "VehPerSec", "VehPerSecToVehPerHour": "VehPerHour",
+}
+
+// unitsBlessed reports whether this package is allowed to hold raw
+// conversion constants: internal/units itself (any path ending in
+// "units" keeps fixtures honest).
+func unitsBlessed(pkgPath string) bool {
+	return lastSegment(pkgPath) == "units"
+}
+
+func runUnitCheck(pass *Pass) error {
+	blessed := unitsBlessed(pass.PkgPath)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkUnitMixing(pass, f)
+		if !blessed {
+			checkRawConstants(pass, f)
+		}
+	}
+	return nil
+}
+
+// --- rule 1: unit mixing ---
+
+func checkUnitMixing(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				ux, uy := unitOf(pass, n.X), unitOf(pass, n.Y)
+				if conflict(ux, uy) {
+					pass.Reportf(n.OpPos, "unit mix: %s %s %s (%s vs %s); convert explicitly via internal/units",
+						describeUnit(ux), n.Op, describeUnit(uy), unitName(ux), unitName(uy))
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+				for i := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					ul, ur := unitOf(pass, n.Lhs[i]), unitOf(pass, n.Rhs[i])
+					if conflict(ul, ur) {
+						pass.Reportf(n.TokPos, "unit mix: assigning %s to %s (%s vs %s); convert explicitly via internal/units",
+							describeUnit(ur), describeUnit(ul), unitName(ur), unitName(ul))
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				ul, ur := suffixUnit(pass, name, name.Name), unitOf(pass, n.Values[i])
+				if conflict(ul, ur) {
+					pass.Reportf(name.Pos(), "unit mix: %s declared from %s (%s vs %s); convert explicitly via internal/units",
+						describeUnit(ul), describeUnit(ur), unitName(ul), unitName(ur))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// conflict reports whether two resolved units disagree. Unknown units
+// (nil) never conflict: the checker is deliberately conservative.
+func conflict(a, b *unit) bool {
+	return a != nil && b != nil && a.suffix != b.suffix
+}
+
+func unitName(u *unit) string {
+	if u == nil {
+		return "?"
+	}
+	return u.suffix
+}
+
+func describeUnit(u *unit) string {
+	if u == nil {
+		return "unknown"
+	}
+	return string(u.dim) + " [" + u.suffix + "]"
+}
+
+// unitOf resolves the unit an expression advertises, or nil when the
+// expression makes no claim (literals, calls to unblessed functions,
+// multiplicative arithmetic — which changes dimension — and so on).
+func unitOf(pass *Pass, e ast.Expr) *unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(pass, e.X)
+		}
+	case *ast.Ident:
+		return suffixUnit(pass, e, e.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(pass, e, e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOf(pass, e.X) // SpeedsKmh[i] is still km/h
+	case *ast.CallExpr:
+		return callUnit(pass, e)
+	case *ast.BinaryExpr:
+		ux, uy := unitOf(pass, e.X), unitOf(pass, e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if ux != nil && uy != nil && ux.suffix == uy.suffix {
+				return ux
+			}
+		case token.MUL:
+			// Dimensionless-constant scaling preserves the unit:
+			// 2*chargeAh is still a charge in Ah.
+			if ux != nil && uy == nil && isConst(pass, e.Y) {
+				return ux
+			}
+			if uy != nil && ux == nil && isConst(pass, e.X) {
+				return uy
+			}
+		case token.QUO:
+			if ux != nil && uy == nil && isConst(pass, e.Y) {
+				return ux
+			}
+		}
+	}
+	return nil
+}
+
+// isConst reports whether e folds to a compile-time constant.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// callUnit resolves the unit of a call expression: blessed converters
+// adopt their target unit, float conversions are transparent, and
+// unit-suffix-named accessors (route.LengthM()) advertise their suffix.
+func callUnit(pass *Pass, call *ast.CallExpr) *unit {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if isFloatConversion(pass, call) && len(call.Args) == 1 {
+			return unitOf(pass, call.Args[0])
+		}
+		if u, ok := converterUnit(pass, fun.Name); ok {
+			return u
+		}
+		return suffixUnit(pass, call, fun.Name)
+	case *ast.SelectorExpr:
+		if u, ok := converterUnit(pass, fun.Sel.Name); ok {
+			return u
+		}
+		return suffixUnit(pass, call, fun.Sel.Name)
+	}
+	return nil
+}
+
+func converterUnit(pass *Pass, name string) (*unit, bool) {
+	suffix, ok := converterResults[name]
+	if !ok {
+		return nil, false
+	}
+	if suffix == "" {
+		return nil, true // blessed, but result carries no tracked unit
+	}
+	for i := range unitTable {
+		if unitTable[i].suffix == suffix {
+			return &unitTable[i], true
+		}
+	}
+	return nil, true
+}
+
+// isFloatConversion reports whether call is float64(x) / float32(x).
+func isFloatConversion(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return id.Name == "float64" || id.Name == "float32"
+}
+
+// suffixUnit matches name against the unit vocabulary: a camelCase
+// suffix (char before the suffix is lowercase or a digit) or a whole
+// lowercase identifier. e is consulted for the float-only suffixes.
+func suffixUnit(pass *Pass, e ast.Expr, name string) *unit {
+	if alias, ok := wholeIdentUnits[name]; ok {
+		for i := range unitTable {
+			if unitTable[i].suffix == alias {
+				return &unitTable[i]
+			}
+		}
+		return nil
+	}
+	for i := range unitTable {
+		u := &unitTable[i]
+		if !strings.HasSuffix(name, u.suffix) || len(name) == len(u.suffix) {
+			continue
+		}
+		prev := rune(name[len(name)-len(u.suffix)-1])
+		if !unicode.IsLower(prev) && !unicode.IsDigit(prev) {
+			continue
+		}
+		if u.floatOnly && !exprIsFloat(pass, e) {
+			continue
+		}
+		return u
+	}
+	return nil
+}
+
+func exprIsFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				t = obj.Type()
+			} else if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// --- rule 2: raw conversion constants ---
+
+// checkRawConstants walks with an explicit parent stack so a flagged
+// literal can consult the expression it sits in.
+func checkRawConstants(pass *Pass, f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+			return true
+		}
+		v, ok := litFloat(pass, lit)
+		if !ok {
+			return true
+		}
+		switch v {
+		//lint:allow unitcheck these literals are the patterns unitcheck itself matches against
+		case 3.6, 3.6e6:
+			// Unambiguous km/h↔m/s (resp. J↔kWh) factors: always flagged.
+			pass.Reportf(lit.Pos(),
+				"raw unit-conversion constant %s: use the internal/units helper (units.KmhPerMps / units.JPerKWh) instead",
+				lit.Value)
+		case 3600, 1000:
+			// Ambiguous factors: flagged only when visibly applied to a
+			// unit-suffixed quantity.
+			if near, ok := unitContext(pass, stack); ok {
+				pass.Reportf(lit.Pos(),
+					"raw conversion factor %s applied to unit-suffixed %s: use the internal/units helper instead",
+					lit.Value, near)
+			}
+		}
+		return true
+	})
+}
+
+// litFloat returns a literal's folded numeric value.
+func litFloat(pass *Pass, e ast.Expr) (float64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(tv.Value)
+		return f, true
+	}
+	return 0, false
+}
+
+// unitContext decides whether a 3600/1000 literal is being used as a
+// unit conversion: it is when a sibling operand in the nearest
+// multiplicative expression carries a unit suffix, or when the value
+// feeds a unit-suffixed declaration or assignment target.
+func unitContext(pass *Pass, stack []ast.Node) (string, bool) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.MUL && n.Op != token.QUO {
+				continue
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if u := unitOf(pass, side); u != nil {
+					return describeUnit(u), true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if u := unitOf(pass, lhs); u != nil {
+					return describeUnit(u), true
+				}
+			}
+			return "", false
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if u := suffixUnit(pass, name, name.Name); u != nil {
+					return describeUnit(u), true
+				}
+			}
+			return "", false
+		case *ast.CallExpr, *ast.BlockStmt, *ast.ReturnStmt:
+			return "", false
+		}
+	}
+	return "", false
+}

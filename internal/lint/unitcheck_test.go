@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestUnitCheck(t *testing.T) {
+	res := lint.RunFixture(t, lint.UnitCheck, "unitcheck/a")
+	// The fixture's one pragma-waived mix must surface as suppressed,
+	// with its reason, not vanish.
+	if len(res.Allowed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1", len(res.Allowed))
+	}
+	if got := res.Allowed[0].Reason; !strings.Contains(got, "raw magnitudes") {
+		t.Fatalf("suppressed reason = %q, want the pragma's justification", got)
+	}
+}
+
+// TestUnitCheckBlessedPackage: a package whose path ends in "units" is
+// the sanctioned home for conversion constants.
+func TestUnitCheckBlessedPackage(t *testing.T) {
+	res := lint.RunFixture(t, lint.UnitCheck, "unitcheck/units")
+	if n := len(res.Active); n != 0 {
+		t.Fatalf("unitcheck fired %d finding(s) inside the blessed units package", n)
+	}
+}
