@@ -1,0 +1,109 @@
+// Package units is the single blessed home for physical-unit conversion
+// constants and helpers. The DP grid, the EV energy model and the queue
+// model are SI end to end (m, m/s, s, A, Ah, J); everything user-facing
+// (km/h, mAh, kWh, veh/h) converts through this package.
+//
+// The point is lintability as much as reuse: the unitcheck analyzer
+// (internal/lint) flags raw 3.6/3600/1000 conversion factors anywhere
+// else in the module, so a fat-fingered 3600-where-3.6-was-meant — the
+// classic silent corruption in eco-driving reproductions — cannot hide
+// in arithmetic. Helper names double as documentation at the call site
+// and as unit annotations for unitcheck, whose mixing rule treats a
+// call to XToY as producing a Y-suffixed quantity.
+package units
+
+// Exact conversion factors. Each one appears in the module only here.
+const (
+	// KmhPerMps converts speed: 1 m/s = 3.6 km/h.
+	KmhPerMps = 3.6
+	// SecPerHour converts time: 3600 s per hour.
+	SecPerHour = 3600.0
+	// MsPerSec converts time: 1000 ms per second.
+	MsPerSec = 1000.0
+	// MPerKm converts length: 1000 m per kilometre.
+	MPerKm = 1000.0
+	// WPerKW converts power: 1000 W per kilowatt.
+	WPerKW = 1000.0
+	// MAhPerAh converts charge: 1000 mAh per ampere-hour.
+	MAhPerAh = 1000.0
+	// CoulombPerAh converts charge: 3600 ampere-seconds per ampere-hour.
+	CoulombPerAh = 3600.0
+	// JPerWh converts energy: 3600 J per watt-hour.
+	JPerWh = 3600.0
+	// JPerKWh converts energy: 3.6 MJ per kilowatt-hour.
+	JPerKWh = 3.6e6
+)
+
+// Speed.
+
+// KmhToMps converts km/h to m/s.
+func KmhToMps(kmh float64) float64 { return kmh / KmhPerMps }
+
+// MpsToKmh converts m/s to km/h.
+func MpsToKmh(mps float64) float64 { return mps * KmhPerMps }
+
+// Time.
+
+// HoursToSec converts hours to seconds.
+func HoursToSec(h float64) float64 { return h * SecPerHour }
+
+// SecToHours converts seconds to hours.
+func SecToHours(sec float64) float64 { return sec / SecPerHour }
+
+// SecToMs converts seconds to milliseconds.
+func SecToMs(sec float64) float64 { return sec * MsPerSec }
+
+// MsToSec converts milliseconds to seconds.
+func MsToSec(ms float64) float64 { return ms / MsPerSec }
+
+// Length.
+
+// KmToM converts kilometres to metres.
+func KmToM(km float64) float64 { return km * MPerKm }
+
+// MToKm converts metres to kilometres.
+func MToKm(m float64) float64 { return m / MPerKm }
+
+// Power.
+
+// KWToW converts kilowatts to watts.
+func KWToW(kw float64) float64 { return kw * WPerKW }
+
+// WToKW converts watts to kilowatts.
+func WToKW(w float64) float64 { return w / WPerKW }
+
+// Charge.
+
+// AhToMAh converts ampere-hours to milliampere-hours.
+func AhToMAh(ah float64) float64 { return ah * MAhPerAh }
+
+// MAhToAh converts milliampere-hours to ampere-hours.
+func MAhToAh(mah float64) float64 { return mah / MAhPerAh }
+
+// AhToCoulombs converts ampere-hours to coulombs (ampere-seconds).
+func AhToCoulombs(ah float64) float64 { return ah * CoulombPerAh }
+
+// CoulombsToAh converts coulombs (ampere-seconds) to ampere-hours.
+func CoulombsToAh(c float64) float64 { return c / CoulombPerAh }
+
+// Energy.
+
+// WhToJ converts watt-hours to joules.
+func WhToJ(wh float64) float64 { return wh * JPerWh }
+
+// JToWh converts joules to watt-hours.
+func JToWh(j float64) float64 { return j / JPerWh }
+
+// KWhToJ converts kilowatt-hours to joules.
+func KWhToJ(kwh float64) float64 { return kwh * JPerKWh }
+
+// JToKWh converts joules to kilowatt-hours.
+func JToKWh(j float64) float64 { return j / JPerKWh }
+
+// Traffic flow.
+
+// VehPerHourToVehPerSec converts vehicles/hour to vehicles/second.
+func VehPerHourToVehPerSec(vph float64) float64 { return vph / SecPerHour }
+
+// VehPerSecToVehPerHour converts vehicles/second to vehicles/hour.
+func VehPerSecToVehPerHour(vps float64) float64 { return vps * SecPerHour }

@@ -1,0 +1,70 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKnownValues pins each converter to a hand-checked value so a
+// transposed factor (3600 where 3.6 was meant — the exact slip the
+// unitcheck analyzer exists to catch) fails loudly.
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		name     string
+		got, exp float64
+	}{
+		{"KmhToMps(36)", KmhToMps(36), 10},
+		{"MpsToKmh(10)", MpsToKmh(10), 36},
+		{"HoursToSec(1.5)", HoursToSec(1.5), 5400},
+		{"SecToHours(1800)", SecToHours(1800), 0.5},
+		{"SecToMs(0.25)", SecToMs(0.25), 250},
+		{"MsToSec(250)", MsToSec(250), 0.25},
+		{"KmToM(1.2)", KmToM(1.2), 1200},
+		{"MToKm(500)", MToKm(500), 0.5},
+		{"KWToW(80)", KWToW(80), 80000},
+		{"WToKW(1500)", WToKW(1500), 1.5},
+		{"AhToMAh(2.2)", AhToMAh(2.2), 2200},
+		{"MAhToAh(500)", MAhToAh(500), 0.5},
+		{"AhToCoulombs(1)", AhToCoulombs(1), 3600},
+		{"CoulombsToAh(7200)", CoulombsToAh(7200), 2},
+		{"WhToJ(1)", WhToJ(1), 3600},
+		{"JToWh(7200)", JToWh(7200), 2},
+		{"KWhToJ(1)", KWhToJ(1), 3.6e6},
+		{"JToKWh(1.8e6)", JToKWh(1.8e6), 0.5},
+		{"VehPerHourToVehPerSec(720)", VehPerHourToVehPerSec(720), 0.2},
+		{"VehPerSecToVehPerHour(0.2)", VehPerSecToVehPerHour(0.2), 720},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.exp) > 1e-12*math.Max(1, math.Abs(c.exp)) {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.exp)
+		}
+	}
+}
+
+// TestRoundTrips: every To has a From that inverts it to the last bit of
+// relative precision.
+func TestRoundTrips(t *testing.T) {
+	pairs := []struct {
+		name     string
+		fwd, inv func(float64) float64
+	}{
+		{"Kmh<->Mps", KmhToMps, MpsToKmh},
+		{"Hours<->Sec", HoursToSec, SecToHours},
+		{"Sec<->Ms", SecToMs, MsToSec},
+		{"Km<->M", KmToM, MToKm},
+		{"KW<->W", KWToW, WToKW},
+		{"Ah<->MAh", AhToMAh, MAhToAh},
+		{"Ah<->Coulombs", AhToCoulombs, CoulombsToAh},
+		{"Wh<->J", WhToJ, JToWh},
+		{"KWh<->J", KWhToJ, JToKWh},
+		{"VehPerHour<->VehPerSec", VehPerHourToVehPerSec, VehPerSecToVehPerHour},
+	}
+	for _, p := range pairs {
+		for _, x := range []float64{0, 1, 3.7, 153, 1e6} {
+			back := p.inv(p.fwd(x))
+			if math.Abs(back-x) > 1e-12*math.Max(1, math.Abs(x)) {
+				t.Errorf("%s: round-trip of %g came back %g", p.name, x, back)
+			}
+		}
+	}
+}
