@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"evvo/internal/units"
 )
 
 // Gravity is the standard gravitational acceleration in m/s².
@@ -143,8 +145,8 @@ func (p Params) ChargeRate(v, a, theta float64) float64 {
 		return pw / (p.PackVoltage * eta)
 	}
 	recoverable := -pw
-	if p.MaxRegenPowerKW > 0 && recoverable > p.MaxRegenPowerKW*1000 {
-		recoverable = p.MaxRegenPowerKW * 1000 // excess goes to friction brakes
+	if maxW := units.KWToW(p.MaxRegenPowerKW); p.MaxRegenPowerKW > 0 && recoverable > maxW {
+		recoverable = maxW // excess goes to friction brakes
 	}
 	return -recoverable * eta * p.EtaRegen / p.PackVoltage
 }
@@ -152,18 +154,18 @@ func (p Params) ChargeRate(v, a, theta float64) float64 {
 // Charge returns the pack charge consumed in ampere-hours over an interval
 // of dt seconds at constant velocity v, acceleration a and gradient theta.
 func (p Params) Charge(v, a, theta, dt float64) float64 {
-	return p.ChargeRate(v, a, theta) * dt / 3600
+	return units.CoulombsToAh(p.ChargeRate(v, a, theta) * dt)
 }
 
 // EnergyJoules returns the electrical energy drawn from the pack in joules
 // over dt seconds (negative when regenerating).
 func (p Params) EnergyJoules(v, a, theta, dt float64) float64 {
-	return p.Charge(v, a, theta, dt) * 3600 * p.PackVoltage
+	return units.AhToCoulombs(p.Charge(v, a, theta, dt)) * p.PackVoltage
 }
 
 // PackEnergyJoules returns the total usable pack energy U·Q_max in joules.
 func (p Params) PackEnergyJoules() float64 {
-	return p.PackVoltage * p.PackCapacityAh * 3600
+	return p.PackVoltage * units.AhToCoulombs(p.PackCapacityAh)
 }
 
 // SegmentCharge returns the charge in Ah to traverse a segment of length ds
@@ -200,7 +202,7 @@ func (p Params) WithinPowerLimit(v, a, theta float64) bool {
 		return true
 	}
 	pw := p.TractivePower(v, a, theta)
-	return pw <= p.MaxPowerKW*1000+1e-9
+	return pw <= units.KWToW(p.MaxPowerKW)+1e-9
 }
 
 // MaxAccelAt returns the acceleration achievable at speed v on gradient
@@ -212,7 +214,7 @@ func (p Params) MaxAccelAt(v, theta float64) float64 {
 		return math.Inf(1)
 	}
 	resist := p.DriveForce(v, 0, theta)
-	return (p.MaxPowerKW*1000/v - resist) / p.MassKg
+	return (units.KWToW(p.MaxPowerKW)/v - resist) / p.MassKg
 }
 
 // StateOfCharge tracks pack state of charge over a drive.
@@ -258,5 +260,5 @@ func KmPerKWh(meters, joules float64) float64 {
 		}
 		return 0
 	}
-	return (meters / 1000) / (joules / 3.6e6)
+	return units.MToKm(meters) / units.JToKWh(joules)
 }

@@ -3,6 +3,8 @@ package ev
 import (
 	"fmt"
 	"math"
+
+	"evvo/internal/units"
 )
 
 // WearModel estimates battery-lifetime consumption, the motivation the
@@ -44,7 +46,7 @@ func (m *WearModel) StepWear(zeta, dt float64) float64 {
 	stress := 1 + m.StressK*cRate
 	// |ζ|·dt is charge moved in ampere-seconds; 2·Q·3600 ampere-seconds
 	// round-trip is one full cycle.
-	return amps * stress * dt / (2 * m.Pack.PackCapacityAh * 3600)
+	return amps * stress * dt / (2 * units.AhToCoulombs(m.Pack.PackCapacityAh))
 }
 
 // SegmentWear returns the wear of traversing a segment entering at v0 and

@@ -7,6 +7,7 @@ import (
 	"evvo/internal/queue"
 	"evvo/internal/road"
 	"evvo/internal/sim"
+	"evvo/internal/units"
 )
 
 // Fig5Result reproduces the paper's Fig. 5: traffic dynamics over one
@@ -128,7 +129,7 @@ func timingPhaseLead(timing road.SignalTiming, t float64) float64 {
 // Render writes both panels as tables.
 func (r *Fig5Result) Render(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "Fig. 5 — traffic dynamics over one signal cycle (V_in = %.0f veh/h)\n",
-		r.VInVehPerSec*3600); err != nil {
+		units.VehPerSecToVehPerHour(r.VInVehPerSec)); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "queue clears: VM model %.1f s, current model %.1f s (green opens at 30 s)\n\n",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"evvo/internal/units"
 	"fmt"
 	"io"
 )
@@ -33,7 +34,7 @@ func (r *Fig6Result) Render(w io.Writer) error {
 			panel = "(b) proposed DP method"
 		}
 		if _, err := fmt.Fprintf(w, "Fig. 6%s — planned vs SUMO-style executed profile (signal-area stops: %d, slowest signal-area speed: %.1f km/h)\n",
-			panel, it.Stops, 3.6*it.SlowestSignalMS); err != nil {
+			panel, it.Stops, units.MpsToKmh(it.SlowestSignalMS)); err != nil {
 			return err
 		}
 		header := []string{"pos (m)", "planned (km/h)", "executed (km/h)"}
@@ -41,8 +42,8 @@ func (r *Fig6Result) Render(w io.Writer) error {
 		for pos := 0.0; pos <= 4200; pos += 200 {
 			rows = append(rows, []string{
 				fmt.Sprintf("%.0f", pos),
-				fmt.Sprintf("%.1f", 3.6*it.Planned.SpeedAtPos(pos)),
-				fmt.Sprintf("%.1f", 3.6*it.Executed.SpeedAtPos(pos)),
+				fmt.Sprintf("%.1f", units.MpsToKmh(it.Planned.SpeedAtPos(pos))),
+				fmt.Sprintf("%.1f", units.MpsToKmh(it.Executed.SpeedAtPos(pos))),
 			})
 		}
 		if err := writeTable(w, header, rows); err != nil {

@@ -7,6 +7,7 @@ import (
 	"evvo/internal/dp"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 // GradeStudyResult implements the paper's stated future work (Section V):
@@ -97,7 +98,7 @@ func GradeStudy(fid Fidelity) (*GradeStudyResult, error) {
 		return nil, err
 	}
 	res := &GradeStudyResult{
-		FlatEstimateMAh:    blind.ChargeAh * 1000,
+		FlatEstimateMAh:    units.AhToMAh(blind.ChargeAh),
 		FlatPlanOnGradeMAh: blindOnGrade,
 		AwarePlanMAh:       awareOnGrade,
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 // Style parameterizes a human driving style for the reference driver.
@@ -97,7 +98,7 @@ type DriveConfig struct {
 
 // maxDriveSec bounds a drive so a malformed setup (e.g. a signal that is
 // effectively never green) cannot loop forever.
-const maxDriveSec = 4 * 3600
+const maxDriveSec = 4 * units.SecPerHour
 
 // Drive simulates a human-style drive along the route and returns the
 // trajectory. The driver cruises at SpeedFraction of the local limit,
@@ -140,7 +141,7 @@ func Drive(cfg DriveConfig) (*Profile, error) {
 
 	for pos < r.LengthM() {
 		if t-cfg.DepartTime > maxDriveSec {
-			return nil, fmt.Errorf("profile: drive exceeded %d s; route likely impassable", maxDriveSec)
+			return nil, fmt.Errorf("profile: drive exceeded %.0f s; route likely impassable", maxDriveSec)
 		}
 		// The nearest mandatory stop: destination, stop sign, or a signal
 		// currently red.

@@ -15,6 +15,7 @@ import (
 
 	"evvo/internal/ev"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 // Point is one sample of a trajectory.
@@ -206,7 +207,7 @@ func (p *Profile) Energy(params ev.Params, gradeAt func(pos float64) float64) (f
 // paper's Fig. 7(b).
 func (p *Profile) EnergyMAh(params ev.Params, gradeAt func(pos float64) float64) (float64, error) {
 	ah, err := p.Energy(params, gradeAt)
-	return ah * 1000, err
+	return units.AhToMAh(ah), err
 }
 
 // ResampleByDistance returns a new profile sampled every ds metres

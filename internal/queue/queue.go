@@ -21,10 +21,11 @@ import (
 	"math"
 
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 // VehPerHour converts vehicles/hour to vehicles/second.
-func VehPerHour(v float64) float64 { return v / 3600 }
+func VehPerHour(v float64) float64 { return units.VehPerHourToVehPerSec(v) }
 
 // Params are the VM/QL model parameters from Section II-B.
 type Params struct {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"evvo/internal/units"
 )
 
 // ControlKind enumerates the kinds of traffic control at a point.
@@ -293,8 +295,10 @@ func (r *Route) NextControl(pos float64) (Control, bool) {
 	return Control{}, false
 }
 
-// KmhToMs converts km/h to m/s.
-func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+// KmhToMs converts km/h to m/s. It delegates to internal/units, the
+// blessed home of the 3.6 factor; this wrapper survives for the many
+// call sites that predate the units package.
+func KmhToMs(kmh float64) float64 { return units.KmhToMps(kmh) }
 
 // MsToKmh converts m/s to km/h.
-func MsToKmh(ms float64) float64 { return ms * 3.6 }
+func MsToKmh(ms float64) float64 { return units.MpsToKmh(ms) }

@@ -7,6 +7,7 @@
 package traffic
 
 import (
+	"evvo/internal/units"
 	"fmt"
 	"math"
 	"math/rand"
@@ -71,7 +72,7 @@ func (s *Series) Slice(from, to int) (*Series, error) {
 
 // VehPerSecAt converts the volume at hour h to vehicles/second, the unit
 // the queue model consumes.
-func (s *Series) VehPerSecAt(h int) float64 { return s.Values[h] / 3600 }
+func (s *Series) VehPerSecAt(h int) float64 { return units.VehPerHourToVehPerSec(s.Values[h]) }
 
 // SyntheticConfig parameterizes the synthetic SC-DOT substitute. The shape
 // is a weekday double-peak diurnal curve (AM and PM rush), attenuated
