@@ -16,6 +16,7 @@ import (
 	"evvo/internal/ev"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -69,9 +70,9 @@ func run(variant string, depart, rate, dsM, dvMS, dtSec float64, csv bool) error
 		return nil
 	}
 	fmt.Printf("route: US-25 (%.1f km), variant: %s, depart: %.0f s\n",
-		route.LengthM()/1000, variant, depart)
+		units.MToKm(route.LengthM()), variant, depart)
 	fmt.Printf("energy: %.1f mAh   trip: %.1f s   penalized: %v\n",
-		res.ChargeAh*1000, res.TripSec, res.Penalized)
+		units.AhToMAh(res.ChargeAh), res.TripSec, res.Penalized)
 	for _, a := range res.Arrivals {
 		status := "in window"
 		if !a.InWindow {
@@ -81,7 +82,7 @@ func run(variant string, depart, rate, dsM, dvMS, dtSec float64, csv bool) error
 	}
 	fmt.Println("\npos (m)  speed (km/h)")
 	for pos := 0.0; pos <= route.LengthM(); pos += 200 {
-		fmt.Printf("%7.0f  %6.1f\n", pos, 3.6*res.Profile.SpeedAtPos(pos))
+		fmt.Printf("%7.0f  %6.1f\n", pos, units.MpsToKmh(res.Profile.SpeedAtPos(pos)))
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"evvo/internal/cloud"
 	"evvo/internal/dp"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -89,5 +90,5 @@ func main() {
 	fmt.Printf("fleet of %d EVs served in %v\n", fleet, elapsed.Round(time.Millisecond))
 	fmt.Printf("cache: %d responses served from cache (server counters: %+v)\n", cached, stats)
 	fmt.Printf("sample plan: %.1f mAh over %.0f s, %d signal arrivals, penalized=%v\n",
-		results[0].ChargeAh*1000, results[0].TripSec, len(results[0].Arrivals), results[0].Penalized)
+		units.AhToMAh(results[0].ChargeAh), results[0].TripSec, len(results[0].Arrivals), results[0].Penalized)
 }

@@ -16,6 +16,7 @@ import (
 	"evvo/internal/ev"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 func buildCorridor() (*road.Route, error) {
@@ -76,7 +77,7 @@ func main() {
 				}
 			}
 			fmt.Printf("%5.0fs  %-11s  %12.1f  %8.1f  %d/%d\n",
-				depart, variant, res.ChargeAh*1000, res.TripSec, hits, len(res.Arrivals))
+				depart, variant, units.AhToMAh(res.ChargeAh), res.TripSec, hits, len(res.Arrivals))
 		}
 	}
 	fmt.Println("\nNote: queue-aware windows are strict subsets of green windows, so the")

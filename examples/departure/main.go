@@ -23,6 +23,7 @@ import (
 	"evvo/internal/ev"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -57,7 +58,7 @@ func main() {
 			marker = "*"
 		}
 		fmt.Printf("%s depart %4.0f s → %7.1f mAh, %5.1f s trip, penalized=%v\n",
-			marker, o.DepartTime, o.ChargeAh*1000, o.TripSec, o.Penalized)
+			marker, o.DepartTime, units.AhToMAh(o.ChargeAh), o.TripSec, o.Penalized)
 	}
 	fmt.Printf("recommended: leave at t=%.0f s\n\n", resp.Best.DepartTime)
 
@@ -79,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("local sweep (dp.SweepDepartures): best departure %.0f s (%.1f mAh)\n",
-		best.DepartTime, best.Result.ChargeAh*1000)
+		best.DepartTime, units.AhToMAh(best.Result.ChargeAh))
 }
 
 func adviseOverHTTP(client *cloud.Client) (*cloud.AdviseResponse, error) {

@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"evvo/internal/experiments"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 	fmt.Println("profile          energy (mAh)  trip (s)  signal stops  slowest near lights")
 	for _, it := range res.Items {
 		fmt.Printf("%-15s  %12.1f  %8.1f  %12d  %13.1f km/h\n",
-			it.Kind, it.EnergyMAh, it.TripSec, it.Stops, 3.6*it.SlowestSignalMS)
+			it.Kind, it.EnergyMAh, it.TripSec, it.Stops, units.MpsToKmh(it.SlowestSignalMS))
 	}
 
 	prop, err := res.Item(experiments.KindProposed)

@@ -14,6 +14,7 @@ import (
 	"evvo/internal/ev"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -39,12 +40,12 @@ func main() {
 	}
 
 	fmt.Printf("optimized %0.1f km trip: %.1f mAh, %.0f s, penalized=%v\n",
-		route.LengthM()/1000, res.ChargeAh*1000, res.TripSec, res.Penalized)
+		units.MToKm(route.LengthM()), units.AhToMAh(res.ChargeAh), res.TripSec, res.Penalized)
 	for _, a := range res.Arrivals {
 		fmt.Printf("  %s: arrive %.1f s (in zero-queue window: %v)\n", a.Name, a.ArrivalSec, a.InWindow)
 	}
 	fmt.Println("\nspeed profile (every 300 m):")
 	for pos := 0.0; pos <= route.LengthM(); pos += 300 {
-		fmt.Printf("  %4.0f m: %5.1f km/h\n", pos, 3.6*res.Profile.SpeedAtPos(pos))
+		fmt.Printf("  %4.0f m: %5.1f km/h\n", pos, units.MpsToKmh(res.Profile.SpeedAtPos(pos)))
 	}
 }
