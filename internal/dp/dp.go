@@ -323,9 +323,9 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 			kMax: kMax, tw: jMax + 1,
 			curMinJ: cur.minJ, curMaxJ: cur.maxJ,
 			nxtMinJ: nxt.minJ, nxtMaxJ: nxt.maxJ,
-			bands: bands,
-			tr:    trans.forGrade(r.GradeAt(cur.posM + ds/2)),
-			dTau:  trans.dTau,
+			bands:   bands,
+			tr:      trans.forGrade(r.GradeAt(cur.posM + ds/2)),
+			dTau:    trans.dTau,
 			curCost: cost[i], curExact: exact[i],
 			nxtCost: cost[i+1], nxtExact: exact[i+1], nxtBack: back[i+1],
 			dwell: cur.dwellSec, timeW: cfg.TimeWeightAhPerSec,

@@ -101,6 +101,7 @@ func GreedyPlan(cfg Config) (*Result, error) {
 					miss = d
 				}
 			}
+			//lint:allow floateq exact tie-break between identically computed costs; tolerance would blur the preference order
 			if cost < best.cost || (cost == best.cost && miss < best.miss) {
 				best = legChoice{leg: leg, cost: cost, miss: miss, cruise: vc}
 			}

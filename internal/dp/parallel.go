@@ -107,6 +107,7 @@ func (s *stageRelax) gather(j2a, j2b int) int {
 			srcExact := s.curExact[j*kw : (j+1)*kw]
 			for k := 0; k <= s.kMax; k++ {
 				c0 := srcCost[k]
+				//lint:allow floateq inf is the exact MaxFloat64 unreached-state sentinel, assigned verbatim and never computed
 				if c0 == inf {
 					continue
 				}

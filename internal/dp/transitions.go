@@ -29,7 +29,7 @@ func newAccelBands(cfg *Config, ds float64, jMax int) *accelBands {
 		pHi: make([]int, jMax+1),
 	}
 	for j2 := 0; j2 <= jMax; j2++ {
-		b.pLo[j2], b.pHi[j2] = jMax + 1, -1
+		b.pLo[j2], b.pHi[j2] = jMax+1, -1
 	}
 	for j := 0; j <= jMax; j++ {
 		v := float64(j) * cfg.DvMS
