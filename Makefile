@@ -6,12 +6,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke chaos
+.PHONY: check vet lint build test race bench bench-smoke chaos
 
-check: vet build race bench-smoke chaos
+check: vet lint build race bench-smoke chaos
 
 vet:
 	$(GO) vet ./...
+
+# Custom static-analysis suite (internal/lint via cmd/evlint): context
+# plumbing on the request path, unit-suffix hygiene, float equality,
+# atomicity of shared counters. Exits non-zero on any unwaived finding;
+# //lint:allow waivers are summarized on stderr.
+lint:
+	$(GO) run ./cmd/evlint ./...
 
 build:
 	$(GO) build ./...
