@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke chaos
+.PHONY: check vet lint build test race bench bench-smoke bench-fleet chaos
 
-check: vet lint build race bench-smoke chaos
+check: vet lint build race bench-smoke bench-fleet chaos
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,12 @@ bench:
 # no longer compile or crash without paying for real measurements.
 bench-smoke:
 	$(GO) test -run - -bench . -benchtime 1x ./...
+
+# Fleet-serving smoke: drive a simulated fleet through cmd/evload against
+# an in-process server and emit the BENCH_fleet.json trajectory (latency
+# quantiles + DP-solve reuse from segment tables, DESIGN.md §11).
+bench-fleet:
+	$(GO) run ./cmd/evload -requests 96 -vehicles 12 -out BENCH_fleet.json
 
 # Robustness smoke: the fault-injected chaos tests (degradation ladder,
 # shedding + client retry, panic recovery, coalescing under cancellation)

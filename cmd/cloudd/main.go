@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cloudd [-addr host:port] [-rate veh/h] [-deadline 30s]
-//	       [-max-inflight N] [-drain 10s]
+//	       [-max-inflight N] [-drain 10s] [-segment-tables=true]
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight optimizations
 // get up to -drain to finish and deliver their responses before the
@@ -37,9 +37,10 @@ func main() {
 		deadline    = flag.Duration("deadline", 30*time.Second, "per-request compute deadline (0 disables)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently computing requests (0 = 2×GOMAXPROCS, <0 disables admission control)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		segTables   = flag.Bool("segment-tables", true, "serve from shared per-segment DP tables (DESIGN.md §11) instead of per-request full solves")
 	)
 	flag.Parse()
-	if err := run(*addr, *rate, *deadline, *maxInflight, *drain); err != nil {
+	if err := run(*addr, *rate, *deadline, *maxInflight, *drain, *segTables); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudd:", err)
 		os.Exit(1)
 	}
@@ -47,7 +48,7 @@ func main() {
 
 // buildServer constructs the cloud service with a constant default
 // arrival-rate estimate.
-func buildServer(rate float64, deadline time.Duration, maxInflight int) (*cloud.Server, error) {
+func buildServer(rate float64, deadline time.Duration, maxInflight int, segTables bool) (*cloud.Server, error) {
 	vin := queue.VehPerHour(rate)
 	deadlineSec := deadline.Seconds()
 	if deadline <= 0 {
@@ -57,11 +58,12 @@ func buildServer(rate float64, deadline time.Duration, maxInflight int) (*cloud.
 		ArrivalRate:        func(road.Control, float64) (float64, error) { return vin, nil },
 		DefaultDeadlineSec: deadlineSec,
 		MaxInFlight:        maxInflight,
+		SegmentTables:      segTables,
 	})
 }
 
-func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration) error {
-	srv, err := buildServer(rate, deadline, maxInflight)
+func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration, segTables bool) error {
+	srv, err := buildServer(rate, deadline, maxInflight, segTables)
 	if err != nil {
 		return err
 	}

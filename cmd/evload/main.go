@@ -1,0 +1,227 @@
+// Command evload drives a simulated EV fleet against the vehicular-cloud
+// service and reports serving behaviour: request/failure counts, shed and
+// degraded totals, client-side latency quantiles, and the DP-solve reuse
+// achieved by segment tables (DESIGN.md §11). Results go to stdout and,
+// with -out, to a BENCH_fleet.json trajectory file.
+//
+// Usage:
+//
+//	evload [-addr http://host:port] [-vehicles 12] [-requests 96]
+//	       [-batch 32] [-window 300] [-rate 153] [-seed 1]
+//	       [-ds 100] [-dv 1] [-dt 2] [-segment-tables=true]
+//	       [-out BENCH_fleet.json]
+//
+// Without -addr an in-process server is started, so the command doubles as
+// a self-contained fleet-serving smoke benchmark (`make bench-fleet`); the
+// grid flags configure only that in-process server.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"evvo/internal/cloud"
+	"evvo/internal/dp"
+	"evvo/internal/metrics"
+	"evvo/internal/par"
+	"evvo/internal/units"
+)
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.Addr, "addr", "", "service base URL; empty starts an in-process server")
+	flag.IntVar(&cfg.Vehicles, "vehicles", 12, "concurrent vehicles (client-side concurrency)")
+	flag.IntVar(&cfg.Requests, "requests", 96, "total optimize requests to issue")
+	flag.IntVar(&cfg.Batch, "batch", 32, "requests per /v1/optimize/batch call (0 = individual /v1/optimize calls)")
+	flag.Float64Var(&cfg.WindowSec, "window", 300, "departure spread in seconds; departures are drawn from [0, window)")
+	flag.Float64Var(&cfg.RateVehPerHour, "rate", 153, "arrival-rate override sent with each request (0 = server default)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "PRNG seed for departure times")
+	flag.Float64Var(&cfg.DsM, "ds", 100, "in-process server: position grid Δs in metres")
+	flag.Float64Var(&cfg.DvMS, "dv", 1, "in-process server: velocity grid Δv in m/s")
+	flag.Float64Var(&cfg.DtSec, "dt", 2, "in-process server: time grid Δt in seconds")
+	flag.BoolVar(&cfg.SegmentTables, "segment-tables", true, "in-process server: serve from shared segment tables")
+	flag.StringVar(&cfg.Out, "out", "", "write the JSON report to this file (e.g. BENCH_fleet.json)")
+	flag.Parse()
+
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("evload: %d requests (%d failed) via %s; latency p50 %.1f ms p95 %.1f ms p99 %.1f ms; %d full + %d segment solves (reuse %.1f×); shed %d degraded %d\n",
+		rep.Requests, rep.Failed, rep.Mode, rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99,
+		rep.Server.DPFullSolves, rep.Server.DPSegmentSolves, rep.ReuseFactor, rep.Server.Shed, rep.Server.Degraded)
+	if cfg.Out != "" {
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evload:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(cfg.Out, append(body, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "evload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadConfig parameterizes one load run; it is also echoed into the report
+// so a BENCH_fleet.json is self-describing.
+type loadConfig struct {
+	Addr           string  `json:"addr,omitempty"`
+	Vehicles       int     `json:"vehicles"`
+	Requests       int     `json:"requests"`
+	Batch          int     `json:"batch"`
+	WindowSec      float64 `json:"windowSec"`
+	RateVehPerHour float64 `json:"rateVehPerHour"`
+	Seed           int64   `json:"seed"`
+	DsM            float64 `json:"dsM"`
+	DvMS           float64 `json:"dvMS"`
+	DtSec          float64 `json:"dtSec"`
+	SegmentTables  bool    `json:"segmentTables"`
+	Out            string  `json:"-"`
+}
+
+// quantiles are client-observed latency percentiles in milliseconds. For
+// batch mode they are per-batch-call latencies (the unit a fleet gateway
+// waits on); for individual mode, per-request.
+type quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// report is the BENCH_fleet.json payload.
+type report struct {
+	Config    loadConfig  `json:"config"`
+	Mode      string      `json:"mode"` // "batch" or "single"
+	Requests  int         `json:"requests"`
+	Failed    int         `json:"failed"`
+	LatencyMs quantiles   `json:"latencyMs"`
+	Server    cloud.Stats `json:"server"`
+	// ReuseFactor is requests per DP solve (full + segment): the fleet
+	// acceptance gate asks for ≥5 with segment tables on.
+	ReuseFactor float64 `json:"reuseFactor"`
+}
+
+func run(ctx context.Context, cfg loadConfig) (*report, error) {
+	if cfg.Requests <= 0 || cfg.Vehicles <= 0 {
+		return nil, fmt.Errorf("requests (%d) and vehicles (%d) must be positive", cfg.Requests, cfg.Vehicles)
+	}
+	if cfg.Batch < 0 || cfg.WindowSec < 0 {
+		return nil, fmt.Errorf("batch (%d) and window (%.0f) must be non-negative", cfg.Batch, cfg.WindowSec)
+	}
+	baseURL := cfg.Addr
+	if baseURL == "" {
+		srv, err := cloud.NewServer(cloud.ServerConfig{
+			DPTemplate:    dp.Config{DsM: cfg.DsM, DvMS: cfg.DvMS, DtSec: cfg.DtSec, MaxTripSec: 600},
+			SegmentTables: cfg.SegmentTables,
+			MaxInFlight:   2 * cfg.Vehicles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
+	}
+	client, err := cloud.NewClient(baseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := makeRequests(cfg)
+	lat := metrics.NewLatencyHistogram()
+	rep := &report{Config: cfg, Requests: len(reqs), Mode: "single"}
+	var mu sync.Mutex // guards rep.Failed across the worker pool
+	if cfg.Batch > 0 {
+		rep.Mode = "batch"
+		var calls []cloud.BatchRequest
+		for len(reqs) > 0 {
+			n := min(cfg.Batch, len(reqs))
+			calls = append(calls, cloud.BatchRequest{Requests: reqs[:n]})
+			reqs = reqs[n:]
+		}
+		err = par.ForEach(cfg.Vehicles, len(calls), func(i int) error {
+			start := time.Now()
+			out, err := client.OptimizeBatch(ctx, calls[i])
+			lat.Observe(units.SecToMs(time.Since(start).Seconds()))
+			if err != nil {
+				mu.Lock()
+				rep.Failed += len(calls[i].Requests)
+				mu.Unlock()
+				return nil // keep loading; failures are the measurement
+			}
+			failed := 0
+			for _, r := range out.Results {
+				if r.Error != "" {
+					failed++
+				}
+			}
+			mu.Lock()
+			rep.Failed += failed
+			mu.Unlock()
+			return nil
+		})
+	} else {
+		err = par.ForEach(cfg.Vehicles, len(reqs), func(i int) error {
+			start := time.Now()
+			_, rerr := client.Optimize(ctx, reqs[i])
+			lat.Observe(units.SecToMs(time.Since(start).Seconds()))
+			if rerr != nil {
+				mu.Lock()
+				rep.Failed++
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep.LatencyMs = quantiles{
+		Count: lat.Count(),
+		P50:   lat.Quantile(0.50),
+		P95:   lat.Quantile(0.95),
+		P99:   lat.Quantile(0.99),
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.Server = stats
+	solves := stats.DPFullSolves + stats.DPSegmentSolves
+	if solves > 0 {
+		rep.ReuseFactor = float64(rep.Requests) / float64(solves)
+	}
+	return rep, nil
+}
+
+// makeRequests draws the fleet's departures deterministically from the
+// seed: uniform over [0, window), which spreads them across departure
+// buckets the way commuters spread across a peak — distinct enough to
+// defeat the response cache, shared enough that segment reuse pays.
+func makeRequests(cfg loadConfig) []cloud.Request {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]cloud.Request, cfg.Requests)
+	for i := range reqs {
+		depart := 0.0
+		if cfg.WindowSec > 0 {
+			depart = rng.Float64() * cfg.WindowSec
+		}
+		reqs[i] = cloud.Request{
+			Route:                 "us25",
+			DepartTime:            depart,
+			ArrivalRateVehPerHour: cfg.RateVehPerHour,
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// smokeConfig is a small but representative fleet: the table build costs
+// ~11 segment solves on the coarse grid, so 64 spread-out requests clear
+// the ≥5× reuse gate with margin while staying sub-second.
+func smokeConfig() loadConfig {
+	return loadConfig{
+		Vehicles: 4, Requests: 64, Batch: 16, WindowSec: 300,
+		RateVehPerHour: 153, Seed: 1,
+		DsM: 100, DvMS: 1, DtSec: 2, SegmentTables: true,
+	}
+}
+
+// TestFleetLoadReuse is the end-to-end fleet acceptance gate: the load run
+// must complete cleanly and show ≥5× fewer DP solves than per-request
+// solving, with latency quantiles populated.
+func TestFleetLoadReuse(t *testing.T) {
+	rep, err := run(context.Background(), smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d of %d requests failed", rep.Failed, rep.Requests)
+	}
+	if rep.Mode != "batch" {
+		t.Fatalf("mode = %q", rep.Mode)
+	}
+	if rep.ReuseFactor < 5 {
+		t.Fatalf("reuse factor %.2f < 5 (%d full + %d segment solves for %d requests)",
+			rep.ReuseFactor, rep.Server.DPFullSolves, rep.Server.DPSegmentSolves, rep.Requests)
+	}
+	if rep.LatencyMs.Count == 0 || rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+		t.Fatalf("latency quantiles not populated: %+v", rep.LatencyMs)
+	}
+	if rep.Server.StitchedServes == 0 {
+		t.Fatal("no stitched serves — segment tables did not engage")
+	}
+}
+
+// TestSingleMode covers the non-batch path (-batch 0).
+func TestSingleMode(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Batch = 0
+	cfg.Requests = 8
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "single" || rep.Failed != 0 {
+		t.Fatalf("mode %q, failed %d", rep.Mode, rep.Failed)
+	}
+	if rep.LatencyMs.Count != 8 {
+		t.Fatalf("latency count = %d, want one sample per request", rep.LatencyMs.Count)
+	}
+}
+
+// TestConfigValidation rejects nonsense before any load is generated.
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []loadConfig{
+		{Vehicles: 0, Requests: 1},
+		{Vehicles: 1, Requests: 0},
+		{Vehicles: 1, Requests: 1, Batch: -1},
+		{Vehicles: 1, Requests: 1, WindowSec: -1},
+	} {
+		if _, err := run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestReportRoundTrips confirms the JSON report is a valid, self-describing
+// BENCH_fleet.json.
+func TestReportRoundTrips(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Requests, cfg.Batch = 8, 4
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || back.Config.Seed != cfg.Seed {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}

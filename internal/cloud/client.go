@@ -219,6 +219,21 @@ func (c *Client) Advise(ctx context.Context, req AdviseRequest) (*AdviseResponse
 	return &out, nil
 }
 
+// OptimizeBatch submits a fleet's worth of requests in one call. Item
+// failures come back per item in BatchResponse.Results; only transport
+// and whole-batch failures surface as an error.
+func (c *Client) OptimizeBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: encoding batch request: %w", err)
+	}
+	var out BatchResponse
+	if err := c.do(ctx, "/v1/optimize/batch", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health checks service liveness.
 func (c *Client) Health(ctx context.Context) error {
 	var out map[string]string

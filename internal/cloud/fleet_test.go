@@ -1,0 +1,293 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"evvo/internal/dp"
+	"evvo/internal/ev"
+	"evvo/internal/queue"
+	"evvo/internal/road"
+)
+
+// newFleetServer is newTestServer with segment tables enabled — the
+// fleet-serving configuration under test in this file.
+func newFleetServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	if cfg.DPTemplate.DsM == 0 {
+		cfg.DPTemplate = coarseDP()
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 32
+	}
+	cfg.SegmentTables = true
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts, c
+}
+
+// TestNegativeConfigRejected pins the validation bugfix: a negative
+// MaxCacheEntries used to slip through and silently degrade the cache to a
+// single entry via the eviction test.
+func TestNegativeConfigRejected(t *testing.T) {
+	if _, err := NewServer(ServerConfig{MaxCacheEntries: -1}); err == nil {
+		t.Fatal("negative MaxCacheEntries accepted")
+	}
+	if _, err := NewServer(ServerConfig{MaxBatchSize: -1}); err == nil {
+		t.Fatal("negative MaxBatchSize accepted")
+	}
+}
+
+// TestAdviseDeparturesOnGrid pins the float-drift bugfix: candidates must
+// sit exactly on earliest + i·step, which accumulation (depart += step)
+// misses once the step has no exact binary representation.
+func TestAdviseDeparturesOnGrid(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// 0.1 is inexact in binary; 31 accumulations drift visibly. All
+	// candidates share a departure bucket, so one DP solve serves the sweep.
+	resp, cleanup := postJSON(t, ts.URL+"/v1/advise",
+		`{"route":"us25","earliestDepart":0,"latestDepart":3,"stepSec":0.1}`)
+	defer cleanup()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Options) != 31 {
+		t.Fatalf("options = %d, want 31", len(out.Options))
+	}
+	for i, o := range out.Options {
+		want := float64(i) * 0.1
+		if o.DepartTime != want {
+			t.Fatalf("option %d departs at %.17g, want exactly %.17g", i, o.DepartTime, want)
+		}
+	}
+}
+
+// TestAdviseCandidateBoundary pins the off-by-one bugfix: the documented
+// limit is 64 candidates, so a window of exactly 63 steps (64 candidates)
+// must pass and 64 steps (65 candidates) must be rejected.
+func TestAdviseCandidateBoundary(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Sub-bucket steps keep this to one DP solve + 63 cache hits.
+	ok, cleanup := postJSON(t, ts.URL+"/v1/advise",
+		`{"route":"us25","earliestDepart":0,"latestDepart":0.63,"stepSec":0.01}`)
+	defer cleanup()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("64 candidates rejected: status %d", ok.StatusCode)
+	}
+	var out AdviseResponse
+	if err := json.NewDecoder(ok.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Options) != maxAdviseCandidates {
+		t.Fatalf("options = %d, want %d", len(out.Options), maxAdviseCandidates)
+	}
+	bad, cleanup2 := postJSON(t, ts.URL+"/v1/advise",
+		`{"route":"us25","earliestDepart":0,"latestDepart":0.64,"stepSec":0.01}`)
+	defer cleanup2()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("65 candidates accepted: status %d", bad.StatusCode)
+	}
+}
+
+// TestAdviseWarmsCache pins the cache-bypass bugfix: advise candidates now
+// run through the cached/coalesced optimize path, so a repeated sweep is
+// served from cache instead of re-running every DP.
+func TestAdviseWarmsCache(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	body := `{"route":"us25","earliestDepart":0,"latestDepart":40,"stepSec":20}`
+	first, cleanup := postJSON(t, ts.URL+"/v1/advise", body)
+	cleanup()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", first.StatusCode)
+	}
+	before := s.cacheHits.Value()
+	second, cleanup2 := postJSON(t, ts.URL+"/v1/advise", body)
+	cleanup2()
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", second.StatusCode)
+	}
+	hits := s.cacheHits.Value() - before
+	if hits < 3 {
+		t.Fatalf("repeat sweep hit the cache %d times, want all 3 candidates", hits)
+	}
+}
+
+// TestAdviseMatchesSweepDepartures: the HTTP advise path must agree with
+// the library path (dp.SweepDeparturesCtx + dp.BestDeparture) on the same
+// grid — same candidates, same numbers, same recommendation.
+func TestAdviseMatchesSweepDepartures(t *testing.T) {
+	_, _, c := newTestServer(t)
+	const from, to, step, rate = 0.0, 40.0, 20.0, 153.0
+	got, err := c.Advise(context.Background(), AdviseRequest{
+		Route: "us25", EarliestDepart: from, LatestDepart: to, StepSec: step,
+		ArrivalRateVehPerHour: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server's us25 instance and road.US25() are geometrically
+	// identical, so the library-side sweep reproduces the served numbers.
+	cfg := coarseDP()
+	cfg.Route, cfg.Vehicle = road.US25(), ev.SparkEV()
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(rate)), from, to+cfg.MaxTripSec+120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Windows = wf
+	opts, err := dp.SweepDeparturesCtx(context.Background(), cfg, from, to, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != len(opts) {
+		t.Fatalf("advise %d options, sweep %d", len(got.Options), len(opts))
+	}
+	for i, o := range opts {
+		a := got.Options[i]
+		if a.DepartTime != o.DepartTime ||
+			math.Abs(a.ChargeAh-o.Result.ChargeAh) > 1e-9 ||
+			math.Abs(a.TripSec-o.Result.TripSec) > 1e-9 ||
+			a.Penalized != o.Result.Penalized {
+			t.Fatalf("candidate %d: advise %+v vs sweep depart %.0f charge %.6f trip %.1f penalized %v",
+				i, a, o.DepartTime, o.Result.ChargeAh, o.Result.TripSec, o.Result.Penalized)
+		}
+	}
+	best, err := dp.BestDeparture(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.DepartTime != best.DepartTime {
+		t.Fatalf("advise recommends %.0f s, BestDeparture %.0f s", got.Best.DepartTime, best.DepartTime)
+	}
+}
+
+// TestSegmentTablesParity: with segment tables enabled the served numbers
+// must match the monolithic server within the stitch tolerance.
+func TestSegmentTablesParity(t *testing.T) {
+	_, _, mono := newTestServer(t)
+	_, _, seg := newFleetServer(t, ServerConfig{})
+	for _, req := range []Request{
+		{Route: "us25", DepartTime: 40},
+		{Route: "us25", DepartTime: 95, ArrivalRateVehPerHour: 153},
+		{Route: "us25", DepartTime: 40, Variant: VariantGreen},
+		{Route: "us25", DepartTime: 40, Variant: VariantUnconstrained},
+	} {
+		m, err := mono.Optimize(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := seg.Optimize(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.ChargeAh-g.ChargeAh) > 0.01 || m.Penalized != g.Penalized {
+			t.Fatalf("%+v: monolithic %.6f Ah (penalized %v), stitched %.6f Ah (penalized %v)",
+				req, m.ChargeAh, m.Penalized, g.ChargeAh, g.Penalized)
+		}
+	}
+}
+
+// TestSegmentTablesReuseFactor is the fleet acceptance gate: at fleet
+// request counts the DP work must shrink by at least 5× versus
+// per-request full solves — the whole point of segment-level reuse.
+func TestSegmentTablesReuseFactor(t *testing.T) {
+	_, _, c := newFleetServer(t, ServerConfig{})
+	const fleet = 60
+	breq := BatchRequest{}
+	for i := 0; i < fleet; i++ {
+		// Distinct departure buckets (5 s default) so nothing cache-hits:
+		// every item demands its own solve, as a real fleet's spread does.
+		breq.Requests = append(breq.Requests, Request{Route: "us25", DepartTime: float64(5 * i)})
+	}
+	out, err := c.OptimizeBatch(context.Background(), breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != fleet {
+		t.Fatalf("results = %d, want %d", len(out.Results), fleet)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || r.Response == nil {
+			t.Fatalf("item %d failed: %q", i, r.Error)
+		}
+	}
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BatchItems != fleet {
+		t.Fatalf("batchItems = %d, want %d", stats.BatchItems, fleet)
+	}
+	if stats.StitchedServes == 0 {
+		t.Fatal("no stitched serves recorded")
+	}
+	solves := stats.DPFullSolves + stats.DPSegmentSolves
+	if solves*5 > fleet {
+		t.Fatalf("reuse factor too low: %d solves (%d full + %d segment) for %d requests",
+			solves, stats.DPFullSolves, stats.DPSegmentSolves, fleet)
+	}
+	if stats.LatencyMs.Count == 0 || stats.LatencyMs.P99 < stats.LatencyMs.P50 {
+		t.Fatalf("latency histogram not wired: %+v", stats.LatencyMs)
+	}
+}
+
+// TestBatchValidation covers the batch endpoint's edges: empty and
+// oversized batches are rejected whole; per-item failures are reported in
+// place without voiding the other items.
+func TestBatchValidation(t *testing.T) {
+	_, ts, _ := newFleetServer(t, ServerConfig{MaxBatchSize: 4})
+	empty, cleanup := postJSON(t, ts.URL+"/v1/optimize/batch", `{"requests":[]}`)
+	defer cleanup()
+	if empty.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", empty.StatusCode)
+	}
+	var items []string
+	for i := 0; i < 5; i++ {
+		items = append(items, `{"route":"us25","departTime":40}`)
+	}
+	over, cleanup2 := postJSON(t, ts.URL+"/v1/optimize/batch",
+		fmt.Sprintf(`{"requests":[%s]}`, strings.Join(items, ",")))
+	defer cleanup2()
+	if over.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d", over.StatusCode)
+	}
+
+	mixed, cleanup3 := postJSON(t, ts.URL+"/v1/optimize/batch",
+		`{"requests":[{"route":"us25","departTime":40},{"route":"nowhere"},{"route":"us25","departTime":-1}]}`)
+	defer cleanup3()
+	if mixed.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: status %d", mixed.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(mixed.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if out.Results[0].Response == nil || out.Results[0].Error != "" {
+		t.Fatalf("good item failed: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" || out.Results[2].Error == "" {
+		t.Fatalf("bad items passed: %+v, %+v", out.Results[1], out.Results[2])
+	}
+}

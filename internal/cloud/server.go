@@ -47,9 +47,11 @@ import (
 	"evvo/internal/dp"
 	"evvo/internal/ev"
 	"evvo/internal/metrics"
+	"evvo/internal/par"
 	"evvo/internal/profile"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 // Variant selects the optimizer flavour.
@@ -143,6 +145,25 @@ type Stats struct {
 	// RetryAfterIssued counts responses that carried a Retry-After header
 	// (shed and transient-failure responses).
 	RetryAfterIssued int64 `json:"retryAfterIssued"`
+	// DPFullSolves counts monolithic full-route DP runs; DPSegmentSolves
+	// counts per-segment table solves; StitchedServes counts responses
+	// assembled from shared segment tables instead of a full solve. The
+	// fleet-reuse ratio is requests : (full + segment solves).
+	DPFullSolves    int64 `json:"dpFullSolves"`
+	DPSegmentSolves int64 `json:"dpSegmentSolves"`
+	StitchedServes  int64 `json:"stitchedServes"`
+	// BatchItems counts individual requests carried by /v1/optimize/batch.
+	BatchItems int64 `json:"batchItems"`
+	// LatencyMs summarizes compute-endpoint latency (admitted requests).
+	LatencyMs LatencyStats `json:"latencyMs"`
+}
+
+// LatencyStats are histogram-derived latency quantiles in milliseconds.
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // ServerConfig parameterizes the cloud service.
@@ -166,8 +187,18 @@ type ServerConfig struct {
 	DPTemplate dp.Config
 	// CacheDepartBucketSec groups departures for caching (default 5 s).
 	CacheDepartBucketSec float64
-	// MaxCacheEntries bounds the cache (default 1024).
+	// MaxCacheEntries bounds the cache (default 1024; negative is a config
+	// error, not a one-entry cache).
 	MaxCacheEntries int
+	// SegmentTables enables segment-level DP reuse (DESIGN.md §11): each
+	// route is decomposed at its signals and solved once into per-segment
+	// value tables; requests are then stitched from the shared tables
+	// instead of running a full-route DP each. Off by default — the
+	// monolithic path stays the reference.
+	SegmentTables bool
+	// MaxBatchSize bounds the number of requests accepted by
+	// POST /v1/optimize/batch (default 256).
+	MaxBatchSize int
 
 	// DefaultDeadlineSec is the per-request compute deadline (default 30;
 	// negative disables deadlines entirely).
@@ -210,12 +241,22 @@ type Server struct {
 	order    []string // FIFO eviction order
 	inflight map[string]*inflightCall
 
+	// segTables holds completed segment-table builds per route name;
+	// tableBuilds coalesces concurrent builds the way inflight coalesces
+	// solves. Tables key on the registered *road.Route identity, so a
+	// route's tables never go stale: routes are immutable once registered.
+	segTables   map[string]*dp.RouteTables
+	tableBuilds map[string]*tableCall
+
 	sem    chan struct{} // admission slots; nil = admission disabled
 	queued atomic.Int64  // requests waiting for a slot
 
-	requests, cacheHits, errs       metrics.Counter
-	shed, panics, retryAfterIssued  metrics.Counter
-	degraded                        metrics.LabeledCounter
+	requests, cacheHits, errs      metrics.Counter
+	shed, panics, retryAfterIssued metrics.Counter
+	dpFullSolves, dpSegmentSolves  metrics.Counter
+	stitchedServes, batchItems     metrics.Counter
+	degraded                       metrics.LabeledCounter
+	latency                        *metrics.Histogram
 }
 
 // inflightCall coalesces concurrent optimize requests for one cache key:
@@ -227,6 +268,16 @@ type Server struct {
 type inflightCall struct {
 	done chan struct{}
 	resp *Response
+	err  error
+}
+
+// tableCall coalesces concurrent segment-table builds for one route, with
+// the same leader re-election discipline as inflightCall: a leader that
+// dies of its own context's cancellation does not poison followers whose
+// contexts are still live.
+type tableCall struct {
+	done chan struct{}
+	rt   *dp.RouteTables
 	err  error
 }
 
@@ -267,6 +318,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxCacheEntries == 0 {
 		cfg.MaxCacheEntries = 1024
 	}
+	if cfg.MaxCacheEntries < 0 {
+		// A negative bound would make `len(cache) >= MaxCacheEntries` evict
+		// on every store, silently degrading the cache to a single entry.
+		return nil, fmt.Errorf("cloud: max cache entries %d must be non-negative", cfg.MaxCacheEntries)
+	}
+	if cfg.MaxBatchSize == 0 {
+		cfg.MaxBatchSize = 256
+	}
+	if cfg.MaxBatchSize < 0 {
+		return nil, fmt.Errorf("cloud: max batch size %d must be non-negative", cfg.MaxBatchSize)
+	}
 	if cfg.DefaultDeadlineSec == 0 {
 		cfg.DefaultDeadlineSec = 30
 	}
@@ -301,10 +363,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	s := &Server{
-		cfg:      cfg,
-		routes:   map[string]*road.Route{"us25": road.US25()},
-		cache:    make(map[string]*Response),
-		inflight: make(map[string]*inflightCall),
+		cfg:         cfg,
+		routes:      map[string]*road.Route{"us25": road.US25()},
+		cache:       make(map[string]*Response),
+		inflight:    make(map[string]*inflightCall),
+		segTables:   make(map[string]*dp.RouteTables),
+		tableBuilds: make(map[string]*tableCall),
+		latency:     metrics.NewLatencyHistogram(),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
@@ -339,9 +404,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/routes", s.handleRoutes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("POST /v1/optimize", s.admit(http.HandlerFunc(s.handleOptimize)))
-	mux.Handle("POST /v1/advise", s.admit(http.HandlerFunc(s.handleAdvise)))
+	mux.Handle("POST /v1/optimize", s.admit(s.withLatency(http.HandlerFunc(s.handleOptimize))))
+	mux.Handle("POST /v1/advise", s.admit(s.withLatency(http.HandlerFunc(s.handleAdvise))))
+	mux.Handle("POST /v1/optimize/batch", s.admit(s.withLatency(http.HandlerFunc(s.handleBatch))))
 	return s.withRecover(s.withDeadline(mux))
+}
+
+// withLatency records admitted compute-request latency into the service
+// histogram. It sits inside admit so shed requests (sub-millisecond 429s)
+// do not skew the quantiles downward.
+func (s *Server) withLatency(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.latency.Observe(units.SecToMs(time.Since(start).Seconds()))
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -369,6 +446,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		DegradedByReason: s.degraded.Snapshot(),
 		PanicsRecovered:  s.panics.Value(),
 		RetryAfterIssued: s.retryAfterIssued.Value(),
+		DPFullSolves:     s.dpFullSolves.Value(),
+		DPSegmentSolves:  s.dpSegmentSolves.Value(),
+		StitchedServes:   s.stitchedServes.Value(),
+		BatchItems:       s.batchItems.Value(),
+		LatencyMs: LatencyStats{
+			Count: s.latency.Count(),
+			P50:   s.latency.Quantile(0.50),
+			P95:   s.latency.Quantile(0.95),
+			P99:   s.latency.Quantile(0.99),
+		},
 	})
 }
 
@@ -393,6 +480,34 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 	return false
 }
 
+// normalizeOptimize fills request defaults and validates fields, returning
+// a non-zero HTTP status with a message on failure. Shared by the single,
+// advise-sweep and batch entry points so the three stay in agreement.
+func normalizeOptimize(req *Request) (int, string) {
+	if req.Variant == "" {
+		req.Variant = VariantQueueAware
+	}
+	switch req.Variant {
+	case VariantQueueAware, VariantGreen, VariantUnconstrained:
+	default:
+		return http.StatusBadRequest, fmt.Sprintf("unknown variant %q", req.Variant)
+	}
+	if req.DepartTime < 0 {
+		return http.StatusBadRequest, "departTime must be non-negative"
+	}
+	if req.ArrivalRateVehPerHour < 0 {
+		return http.StatusBadRequest, "arrivalRateVehPerHour must be non-negative"
+	}
+	return 0, ""
+}
+
+func (s *Server) lookupRoute(name string) (*road.Route, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.routes[name]
+	return r, ok
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 
@@ -400,33 +515,30 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Variant == "" {
-		req.Variant = VariantQueueAware
-	}
-	switch req.Variant {
-	case VariantQueueAware, VariantGreen, VariantUnconstrained:
-	default:
-		s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown variant %q", req.Variant))
+	if code, msg := normalizeOptimize(&req); code != 0 {
+		s.fail(w, code, msg)
 		return
 	}
-	if req.DepartTime < 0 {
-		s.fail(w, http.StatusBadRequest, "departTime must be non-negative")
-		return
-	}
-	if req.ArrivalRateVehPerHour < 0 {
-		s.fail(w, http.StatusBadRequest, "arrivalRateVehPerHour must be non-negative")
-		return
-	}
-
-	s.mu.Lock()
-	route, ok := s.routes[req.Route]
-	s.mu.Unlock()
+	route, ok := s.lookupRoute(req.Route)
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown route %q", req.Route))
 		return
 	}
 
-	ctx := r.Context()
+	resp, err := s.optimizeCached(r.Context(), route, req)
+	if err != nil {
+		s.optimizeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimizeCached serves one optimize request through the full serving
+// stack: response cache, in-flight coalescing (with leader re-election),
+// then the degradation-laddered solve. Every compute path — single
+// optimize, advise sweeps and batch items — goes through here, so they all
+// warm and hit the same cache.
+func (s *Server) optimizeCached(ctx context.Context, route *road.Route, req Request) (*Response, error) {
 	key := s.cacheKey(req)
 	for {
 		s.mu.Lock()
@@ -435,8 +547,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 			cached := *resp
 			cached.Cached = true
-			writeJSON(w, http.StatusOK, &cached)
-			return
+			return &cached, nil
 		}
 		if c, ok := s.inflight[key]; ok {
 			// A twin request is already computing this key; wait for it
@@ -446,8 +557,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-c.done:
 			case <-ctx.Done():
-				s.failRetryable(w, "request abandoned while coalesced: "+ctx.Err().Error())
-				return
+				return nil, fmt.Errorf("request abandoned while coalesced: %w", ctx.Err())
 			}
 			if c.err != nil {
 				if isCtxErr(c.err) && ctx.Err() == nil {
@@ -457,14 +567,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 					// leader (possibly us) rather than inherit the error.
 					continue
 				}
-				s.optimizeError(w, c.err)
-				return
+				return nil, c.err
 			}
 			s.cacheHits.Inc()
 			cached := *c.resp
 			cached.Cached = true
-			writeJSON(w, http.StatusOK, &cached)
-			return
+			return &cached, nil
 		}
 		c := &inflightCall{done: make(chan struct{})}
 		s.inflight[key] = c
@@ -487,12 +595,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 		close(c.done)
-		if err != nil {
-			s.optimizeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, err
 	}
 }
 
@@ -671,7 +774,7 @@ func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request,
 		cfg.Windows = nil
 	}
 
-	res, err := optimizeDP(ctx, cfg)
+	res, err := s.solve(ctx, req.Route, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -692,6 +795,82 @@ func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request,
 		out.Degraded, out.DegradedReason = true, DegradedPredictorFallback
 	}
 	return out, nil
+}
+
+// solve runs the DP for one request config. With SegmentTables enabled the
+// route's shared per-segment tables are built once (coalesced across
+// concurrent requesters) and the answer is stitched from them; otherwise —
+// or when the tables cannot serve this config — the monolithic solver
+// runs. Only context errors propagate out of the table path: any other
+// table failure falls back to the monolithic solver, which remains the
+// reference implementation.
+func (s *Server) solve(ctx context.Context, routeName string, cfg dp.Config) (*dp.Result, error) {
+	if s.cfg.SegmentTables {
+		rt, err := s.routeTables(ctx, routeName, cfg)
+		if err == nil {
+			res, serr := rt.StitchCtx(ctx, cfg)
+			if serr == nil {
+				s.stitchedServes.Inc()
+				return res, nil
+			}
+			if isCtxErr(serr) {
+				return nil, serr
+			}
+			// Stitch rejected the config (grid drift vs the built tables);
+			// fall through to the full solve.
+		} else if isCtxErr(err) {
+			return nil, err
+		}
+	}
+	s.dpFullSolves.Inc()
+	return optimizeDP(ctx, cfg)
+}
+
+// routeTables returns the segment tables for a named route, building them
+// under the first requester's context when absent. Concurrent builders
+// coalesce with the same re-election rule as optimize coalescing: a
+// leader cancelled by its own client does not fail followers whose
+// contexts are live — one of them rebuilds. Completed tables are kept for
+// the server's lifetime; they key on the registered route instance, which
+// is immutable, so there is nothing to invalidate.
+func (s *Server) routeTables(ctx context.Context, name string, cfg dp.Config) (*dp.RouteTables, error) {
+	for {
+		s.mu.Lock()
+		if rt, ok := s.segTables[name]; ok {
+			s.mu.Unlock()
+			return rt, nil
+		}
+		if c, ok := s.tableBuilds[name]; ok {
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("table build abandoned while coalesced: %w", ctx.Err())
+			}
+			if c.err != nil {
+				if isCtxErr(c.err) && ctx.Err() == nil {
+					continue // leader died of its own cancellation; re-elect
+				}
+				return nil, c.err
+			}
+			return c.rt, nil
+		}
+		c := &tableCall{done: make(chan struct{})}
+		s.tableBuilds[name] = c
+		s.mu.Unlock()
+
+		rt, err := dp.BuildRouteTables(ctx, cfg)
+		c.rt, c.err = rt, err
+		s.mu.Lock()
+		delete(s.tableBuilds, name)
+		if err == nil {
+			s.segTables[name] = rt
+			s.dpSegmentSolves.Add(int64(rt.SegmentSolves()))
+		}
+		s.mu.Unlock()
+		close(c.done)
+		return rt, err
+	}
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
@@ -757,6 +936,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if req.Variant == "" {
 		req.Variant = VariantQueueAware
 	}
+	// Candidate count by index, not by float span: a window spanning exactly
+	// k steps holds k+1 candidates, and the limit bounds the candidates.
+	count := 0
+	if req.StepSec > 0 && req.LatestDepart >= req.EarliestDepart {
+		count = int(math.Floor((req.LatestDepart-req.EarliestDepart)/req.StepSec+1e-9)) + 1
+	}
 	switch {
 	case req.StepSec <= 0:
 		s.fail(w, http.StatusBadRequest, "stepSec must be positive")
@@ -764,7 +949,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	case req.EarliestDepart < 0 || req.LatestDepart < req.EarliestDepart:
 		s.fail(w, http.StatusBadRequest, "departure window invalid")
 		return
-	case (req.LatestDepart-req.EarliestDepart)/req.StepSec > maxAdviseCandidates:
+	case count > maxAdviseCandidates:
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("window spans more than %d candidates; widen stepSec", maxAdviseCandidates))
 		return
 	case req.ArrivalRateVehPerHour < 0:
@@ -788,8 +973,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	resp := &AdviseResponse{}
 	bestIdx, bestCharge := -1, 0.0
-	for depart := req.EarliestDepart; depart <= req.LatestDepart+1e-9; depart += req.StepSec {
-		one, err := s.optimize(ctx, route, Request{
+	for i := 0; i < count; i++ {
+		// Index-stepped, not accumulated: depart = earliest + i·step stays
+		// on-grid over long windows where `depart += step` drifts (the same
+		// float-accumulation class dp.SweepDepartures was cured of).
+		depart := req.EarliestDepart + float64(i)*req.StepSec
+		one, err := s.optimizeCached(ctx, route, Request{
 			Route: req.Route, DepartTime: depart, Variant: req.Variant,
 			ArrivalRateVehPerHour: req.ArrivalRateVehPerHour,
 		})
@@ -818,6 +1007,78 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Best = resp.Options[bestIdx]
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest carries a fleet's worth of optimize requests in one call.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchItem is the outcome for one batch element, positionally matching
+// BatchRequest.Requests: exactly one of Response and Error is set.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors the request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// handleBatch serves POST /v1/optimize/batch: a fleet uploads many
+// requests at once and each is served through the same cached/coalesced
+// path as /v1/optimize, fanned across the cores. Combined with segment
+// tables this turns a fleet sweep into one table build plus cheap
+// stitches. Item failures are reported per item — one bad request does
+// not void the rest of the fleet's answers.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+
+	var breq BatchRequest
+	if !s.decodeJSON(w, r, &breq) {
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.fail(w, http.StatusBadRequest, "batch needs at least one request")
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatchSize {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d; split the fleet", len(breq.Requests), s.cfg.MaxBatchSize))
+		return
+	}
+	ctx := r.Context()
+	out := BatchResponse{Results: make([]BatchItem, len(breq.Requests))}
+	// The whole batch holds one admission slot; its internal fan-out is
+	// bounded separately so a single big batch cannot seize every core.
+	_ = par.ForEach(runtime.GOMAXPROCS(0), len(breq.Requests), func(i int) error {
+		req := breq.Requests[i]
+		s.batchItems.Inc()
+		if code, msg := normalizeOptimize(&req); code != 0 {
+			out.Results[i] = BatchItem{Error: msg}
+			return nil
+		}
+		route, ok := s.lookupRoute(req.Route)
+		if !ok {
+			out.Results[i] = BatchItem{Error: fmt.Sprintf("unknown route %q", req.Route)}
+			return nil
+		}
+		resp, err := s.optimizeCached(ctx, route, req)
+		if err != nil {
+			out.Results[i] = BatchItem{Error: err.Error()}
+			return nil
+		}
+		out.Results[i] = BatchItem{Response: resp}
+		return nil
+	})
+	if ctx.Err() != nil {
+		// The batch's own deadline died mid-fan-out; partial results would
+		// mix answers with timeouts, so report the whole call transient.
+		s.failRetryable(w, "batch abandoned: "+ctx.Err().Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &out)
 }
 
 // ToProfile converts a Response's trajectory back into a profile.Profile.

@@ -212,6 +212,69 @@ func Optimize(cfg Config) (*Result, error) {
 	return OptimizeCtx(context.Background(), cfg)
 }
 
+// dpGrid is the discretization shared by the monolithic DP and the
+// segment-table solver (segment.go): both must derive the exact same grid
+// from a Config or the stitched results would not be comparable to the
+// monolithic ones.
+type dpGrid struct {
+	n    int     // stage count (route split into n equal Δs pieces)
+	ds   float64 // realized Δs after rounding the route length onto n
+	jMax int     // velocity indexes run 0..jMax
+	kMax int     // time buckets run 0..kMax
+}
+
+// buildGrid derives the (position, velocity, time) discretization from a
+// defaulted, validated Config.
+func buildGrid(cfg *Config) (dpGrid, error) {
+	r := cfg.Route
+	n := int(math.Round(r.LengthM() / cfg.DsM))
+	if n < 2 {
+		n = 2
+	}
+	ds := r.LengthM() / float64(n)
+
+	// Velocity grid: 0..jMax covering the fastest zone on the route. The
+	// scan probes zone boundaries as well as stage points so a zone shorter
+	// than Δs cannot shrink the grid (see routeMaxSpeed).
+	maxSpeed := routeMaxSpeed(r, n, ds)
+	jMax := int(math.Floor(maxSpeed/cfg.DvMS + 1e-9))
+	if jMax < 1 {
+		return dpGrid{}, fmt.Errorf("dp: velocity grid empty: max speed %.2f m/s below Δv %.2f", maxSpeed, cfg.DvMS)
+	}
+	if jMax > maxPackedJ {
+		return dpGrid{}, fmt.Errorf("dp: %d velocity levels exceed the backpointer packing limit (%d); raise Δv above %.5f m/s for max speed %.2f m/s",
+			jMax+1, maxPackedJ+1, maxSpeed/float64(maxPackedJ), maxSpeed)
+	}
+	kMax := int(math.Ceil(cfg.MaxTripSec / cfg.DtSec))
+	return dpGrid{n: n, ds: ds, jMax: jMax, kMax: kMax}, nil
+}
+
+// shrunkWindows collects the admissible windows per signal stage,
+// margin-shrunk. A stage present in the map with an empty slice means no
+// admissible arrival at all (oversaturated queue): every arrival there is
+// penalized. Stages absent from the map are unconstrained.
+func shrunkWindows(cfg *Config, stages []stageInfo) map[int][]queue.Window {
+	windows := make(map[int][]queue.Window)
+	for i, st := range stages {
+		if st.signal == nil || cfg.Windows == nil {
+			continue
+		}
+		raw := cfg.Windows(*st.signal)
+		if raw == nil {
+			continue // unconstrained signal
+		}
+		ws := make([]queue.Window, 0, len(raw))
+		for _, w := range raw {
+			s, e := w.Start+cfg.WindowMarginSec, w.End-cfg.WindowEndMarginSec
+			if e > s {
+				ws = append(ws, queue.Window{Start: s, End: e})
+			}
+		}
+		windows[i] = ws
+	}
+	return windows
+}
+
 // OptimizeCtx is Optimize with cooperative cancellation. The context is
 // checked at every stage boundary of the relaxation loop, so cancellation
 // is observed within at most one stage's worth of work; the per-stage
@@ -228,54 +291,19 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	r := cfg.Route
 
-	n := int(math.Round(r.LengthM() / cfg.DsM))
-	if n < 2 {
-		n = 2
+	g, err := buildGrid(&cfg)
+	if err != nil {
+		return nil, err
 	}
-	ds := r.LengthM() / float64(n)
-
-	// Velocity grid: 0..jMax covering the fastest zone on the route. The
-	// scan probes zone boundaries as well as stage points so a zone shorter
-	// than Δs cannot shrink the grid (see routeMaxSpeed).
-	maxSpeed := routeMaxSpeed(r, n, ds)
-	jMax := int(math.Floor(maxSpeed/cfg.DvMS + 1e-9))
-	if jMax < 1 {
-		return nil, fmt.Errorf("dp: velocity grid empty: max speed %.2f m/s below Δv %.2f", maxSpeed, cfg.DvMS)
-	}
-	if jMax > maxPackedJ {
-		return nil, fmt.Errorf("dp: %d velocity levels exceed the backpointer packing limit (%d); raise Δv above %.5f m/s for max speed %.2f m/s",
-			jMax+1, maxPackedJ+1, maxSpeed/float64(maxPackedJ), maxSpeed)
-	}
-	kMax := int(math.Ceil(cfg.MaxTripSec / cfg.DtSec))
+	n, ds, jMax, kMax := g.n, g.ds, g.jMax, g.kMax
 
 	stages, err := buildStages(cfg, n, ds, jMax)
 	if err != nil {
 		return nil, err
 	}
 
-	// Admissible windows per signal stage, margin-shrunk.
-	windows := make(map[int][]queue.Window)
-	for i, st := range stages {
-		if st.signal == nil || cfg.Windows == nil {
-			continue
-		}
-		raw := cfg.Windows(*st.signal)
-		if raw == nil {
-			continue // unconstrained signal
-		}
-		// Non-nil, possibly empty: empty means no admissible arrival at
-		// all (oversaturated queue) and every arrival is penalized.
-		ws := make([]queue.Window, 0, len(raw))
-		for _, w := range raw {
-			s, e := w.Start+cfg.WindowMarginSec, w.End-cfg.WindowEndMarginSec
-			if e > s {
-				ws = append(ws, queue.Window{Start: s, End: e})
-			}
-		}
-		windows[i] = ws
-	}
+	windows := shrunkWindows(&cfg, stages)
 
 	// cost and backpointers, flattened [stage][j*(kMax+1)+k]. The time
 	// bucket k discretizes the state space; exact carries the true elapsed
@@ -324,7 +352,7 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 			curMinJ: cur.minJ, curMaxJ: cur.maxJ,
 			nxtMinJ: nxt.minJ, nxtMaxJ: nxt.maxJ,
 			bands:   bands,
-			tr:      trans.forGrade(r.GradeAt(cur.posM + ds/2)),
+			tr:      trans.forGrade(cfg.Route.GradeAt(cur.posM + ds/2)),
 			dTau:    trans.dTau,
 			curCost: cost[i], curExact: exact[i],
 			nxtCost: cost[i+1], nxtExact: exact[i+1], nxtBack: back[i+1],

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram records observations into fixed buckets and reports approximate
+// quantiles. Observe is lock-free (one atomic add per call), so the serving
+// hot path can record per-request latency without contending on a mutex the
+// way LabeledCounter does. Quantiles are interpolated linearly inside the
+// bucket that crosses the requested rank, so their error is bounded by the
+// bucket width at that rank.
+type Histogram struct {
+	// bounds[i] is the inclusive upper bound of bucket i; a final implicit
+	// overflow bucket catches observations above bounds[len-1].
+	bounds  []float64
+	counts  []atomic.Int64
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. At least one bound is required; duplicates or descending bounds
+// are rejected rather than silently reordered.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds not strictly ascending at %d (%g after %g)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// NewLatencyHistogram returns a histogram preset for request latency in
+// milliseconds: geometric buckets from 0.1 ms to 60 s, ~23% apart, which
+// keeps p99 interpolation error under a quarter of the reported value.
+func NewLatencyHistogram() *Histogram {
+	var bounds []float64
+	for b := 0.1; b <= 60_000; b *= 1.25 {
+		bounds = append(bounds, b)
+	}
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err) // bounds are constant and ascending by construction
+	}
+	return h
+}
+
+// Observe records one value. Values above the last bound land in the
+// overflow bucket; NaN is dropped (it has no rank).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the running sum of recorded observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) by linear
+// interpolation within the bucket holding that rank. Empty histograms and
+// out-of-range q return 0. Observations in the overflow bucket report the
+// last finite bound — the histogram cannot see past its own range.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || q < 0 || q > 1 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}

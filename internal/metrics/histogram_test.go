@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("duplicate bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("descending bounds accepted")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform 1..100: quantiles should track the identity line within one
+	// bucket width.
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5050) > 1e-9 {
+		t.Fatalf("sum = %g, want 5050", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %g", got)
+	}
+	for _, tc := range []struct{ q, want float64 }{{0.5, 50}, {0.95, 95}, {0.99, 99}} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Fatalf("q%g = %g, want within a bucket of %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 0 {
+		t.Fatal("NaN counted")
+	}
+	h.Observe(100) // overflow bucket reports the last bound
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want last bound 2", got)
+	}
+	if h.Quantile(-0.1) != 0 || h.Quantile(1.1) != 0 {
+		t.Fatal("out-of-range q should be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	// Sum of 0..7999 divided by 100.
+	want := float64(workers*per-1) * float64(workers*per) / 2 / 100
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
+	}
+	if h.Quantile(0.5) <= 0 {
+		t.Fatal("median should be positive")
+	}
+}

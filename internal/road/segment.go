@@ -1,0 +1,36 @@
+package road
+
+// Segment is a signal-delimited piece of a route: the stretch between two
+// consecutive signalized intersections (or a route endpoint). Segments are
+// the unit of DP-table reuse for fleet serving (internal/dp, DESIGN.md §11):
+// a route's interior physics between signals carries no arrival-time
+// constraint, so one solved segment serves every request that crosses it.
+//
+// Stop signs do not delimit segments — they pin velocity to zero but impose
+// no time window, so they stay interior to a segment's own solve.
+type Segment struct {
+	// StartM and EndM bound the segment along the route.
+	StartM, EndM float64
+	// Boundary is the signal at EndM, nil for the final segment (whose end
+	// is the route destination).
+	Boundary *Control
+}
+
+// SegmentsAtSignals splits the route at its signalized intersections and
+// returns the segments in position order. A route without signals is one
+// segment spanning its whole length; a route with m signals yields m+1
+// segments.
+func (r *Route) SegmentsAtSignals() []Segment {
+	var out []Segment
+	start := 0.0
+	for _, c := range r.controls {
+		if c.Kind != ControlSignal {
+			continue
+		}
+		sig := c
+		out = append(out, Segment{StartM: start, EndM: sig.PositionM, Boundary: &sig})
+		start = sig.PositionM
+	}
+	out = append(out, Segment{StartM: start, EndM: r.lengthM})
+	return out
+}
