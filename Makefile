@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke bench-fleet chaos
+.PHONY: check vet lint build test race bench bench-smoke bench-fleet bench-dp chaos
 
-check: vet lint build race bench-smoke bench-fleet chaos
+check: vet lint build race bench-smoke bench-fleet bench-dp chaos
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,12 @@ bench-smoke:
 # quantiles + DP-solve reuse from segment tables, DESIGN.md §11).
 bench-fleet:
 	$(GO) run ./cmd/evload -requests 96 -vehicles 12 -out BENCH_fleet.json
+
+# DP solver bench: time the Fig-6 queue-aware solve across the serving
+# modes (scalar, AVX2 kernels, coarse-to-fine fast path, DESIGN.md §12)
+# and emit the BENCH_dp.json artifact with speedups and parity evidence.
+bench-dp:
+	$(GO) run ./cmd/evbench -out BENCH_dp.json dp
 
 # Robustness smoke: the fault-injected chaos tests (degradation ladder,
 # shedding + client retry, panic recovery, coalescing under cancellation)

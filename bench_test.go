@@ -104,6 +104,54 @@ func BenchmarkFig6QueueAwareDP(b *testing.B) {
 	b.ReportMetric(mah, "planned-mAh")
 }
 
+// BenchmarkFig6QueueAwareDPScalar times the queue-aware DP with the AVX2
+// relaxation kernels forced off, isolating the assembly gain from the
+// structure-of-arrays restructuring (outputs are bit-identical either way).
+func BenchmarkFig6QueueAwareDPScalar(b *testing.B) {
+	prev := dp.SetAsmKernels(false)
+	defer dp.SetAsmKernels(prev)
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(153)), 40, 840)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mah float64
+	for i := 0; i < b.N; i++ {
+		res := benchOptimize(b, wf, 0)
+		mah = res.ChargeAh * 1000
+	}
+	b.ReportMetric(mah, "planned-mAh")
+}
+
+// BenchmarkFig6QueueAwareDPCoarseRefine times the coarse-to-fine fast path
+// (factor 3, corridor Factor·Δv = 3 m/s — one quantization error wide) on
+// the queue-aware problem; the reported planned-mAh shows any deviation
+// from the exact solve's 1020.
+func BenchmarkFig6QueueAwareDPCoarseRefine(b *testing.B) {
+	wf, err := dp.QueueAwareWindows(queue.US25Params(),
+		dp.ConstantArrivalRate(queue.VehPerHour(153)), 40, 840)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mah float64
+	for i := 0; i < b.N; i++ {
+		cfg := dp.Config{
+			Route: road.US25(), Vehicle: ev.SparkEV(), DepartTime: 40,
+			DsM: 100, DvMS: 1, DtSec: 2, StopDwellSec: 2,
+			Windows: wf, CoarseRefine: dp.CoarseRefine{Factor: 3, CorridorMS: 3},
+		}
+		res, err := dp.Optimize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Refined == nil {
+			b.Fatal("coarse-refine result missing Refined diagnostic")
+		}
+		mah = res.ChargeAh * 1000
+	}
+	b.ReportMetric(mah, "planned-mAh")
+}
+
 // BenchmarkFig6QueueAwareDPSerial pins the relaxation to one worker,
 // isolating the transition-table hoisting gain from the parallel gain
 // (compare against BenchmarkFig6QueueAwareDP on a multi-core machine).

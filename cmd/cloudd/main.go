@@ -38,9 +38,10 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently computing requests (0 = 2×GOMAXPROCS, <0 disables admission control)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		segTables   = flag.Bool("segment-tables", true, "serve from shared per-segment DP tables (DESIGN.md §11) instead of per-request full solves")
+		coarseRung  = flag.Int("coarse-ladder", 3, "degradation-ladder coarse-grid rung: velocity-grid factor for the approximate re-solve when the exact DP blows its budget (0 disables, DESIGN.md §12)")
 	)
 	flag.Parse()
-	if err := run(*addr, *rate, *deadline, *maxInflight, *drain, *segTables); err != nil {
+	if err := run(*addr, *rate, *deadline, *maxInflight, *drain, *segTables, *coarseRung); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudd:", err)
 		os.Exit(1)
 	}
@@ -48,7 +49,7 @@ func main() {
 
 // buildServer constructs the cloud service with a constant default
 // arrival-rate estimate.
-func buildServer(rate float64, deadline time.Duration, maxInflight int, segTables bool) (*cloud.Server, error) {
+func buildServer(rate float64, deadline time.Duration, maxInflight int, segTables bool, coarseRung int) (*cloud.Server, error) {
 	vin := queue.VehPerHour(rate)
 	deadlineSec := deadline.Seconds()
 	if deadline <= 0 {
@@ -59,11 +60,12 @@ func buildServer(rate float64, deadline time.Duration, maxInflight int, segTable
 		DefaultDeadlineSec: deadlineSec,
 		MaxInFlight:        maxInflight,
 		SegmentTables:      segTables,
+		CoarseLadderFactor: coarseRung,
 	})
 }
 
-func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration, segTables bool) error {
-	srv, err := buildServer(rate, deadline, maxInflight, segTables)
+func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration, segTables bool, coarseRung int) error {
+	srv, err := buildServer(rate, deadline, maxInflight, segTables, coarseRung)
 	if err != nil {
 		return err
 	}

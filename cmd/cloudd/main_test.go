@@ -14,7 +14,7 @@ import (
 )
 
 func TestBuildServerServes(t *testing.T) {
-	srv, err := buildServer(153, 30*time.Second, 0, true)
+	srv, err := buildServer(153, 30*time.Second, 0, true, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestBuildServerServes(t *testing.T) {
 }
 
 func TestBuildServerDisabledDeadline(t *testing.T) {
-	if _, err := buildServer(153, 0, -1, false); err != nil {
+	if _, err := buildServer(153, 0, -1, false, 0); err != nil {
 		t.Fatalf("deadline/admission disabled: %v", err)
 	}
 }

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	evbench [--fast] [--workers n] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all
+//	evbench [--fast] [--workers n] [--out file] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|dp|all
+//
+// The extra `dp` subcommand is not a paper figure: it times the Fig-6
+// queue-aware solve across the solver's serving modes (scalar, AVX2
+// kernels, coarse-to-fine) and, with --out, writes the BENCH_dp.json
+// artifact consumed by `make bench-dp` and CI.
 package main
 
 import (
@@ -21,9 +26,10 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "coarse grids and small models (quick run)")
 	workers := flag.Int("workers", 0, "cap compute parallelism (DP relaxation, fleet planning, SAE training); 0 = all cores")
+	out := flag.String("out", "", "write the dp subcommand's JSON report to this file (e.g. BENCH_dp.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: evbench [--fast] [--workers n] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|all\n")
+			"usage: evbench [--fast] [--workers n] [--out file] fig3|fig4|fig5|fig6|fig7|fig8|grade|fleet|dp|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,7 +50,7 @@ func main() {
 	if *fast {
 		fid = experiments.FidelityFast
 	}
-	if err := run(os.Stdout, flag.Arg(0), fid, *workers); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), fid, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "evbench:", err)
 		os.Exit(1)
 	}
@@ -55,7 +61,7 @@ type renderer interface {
 	Render(io.Writer) error
 }
 
-func run(w io.Writer, fig string, fid experiments.Fidelity, workers int) error {
+func run(w io.Writer, fig string, fid experiments.Fidelity, workers int, out string) error {
 	figs := []string{fig}
 	if fig == "all" {
 		figs = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "grade", "fleet"}
@@ -109,6 +115,12 @@ func run(w io.Writer, fig string, fid experiments.Fidelity, workers int) error {
 			r, err = experiments.GradeStudy(fid)
 		case "fleet":
 			r, err = experiments.RunFleetStudy(fid)
+		case "dp":
+			var rep *dpBenchReport
+			if rep, err = dpBench(fid); err == nil && out != "" {
+				err = rep.writeJSON(out)
+			}
+			r = rep
 		default:
 			return fmt.Errorf("unknown figure %q (want fig3..fig8, grade, fleet, or all)", f)
 		}

@@ -88,9 +88,11 @@ type loadConfig struct {
 	Out            string  `json:"-"`
 }
 
-// quantiles are client-observed latency percentiles in milliseconds. For
-// batch mode they are per-batch-call latencies (the unit a fleet gateway
-// waits on); for individual mode, per-request.
+// quantiles are client-observed latency percentiles in milliseconds, one
+// sample per request in both modes. A batch item's latency is its call's
+// round-trip — every vehicle in the batch waits for the whole call — so
+// batch quantiles are weighted by requests, not by calls; Count always
+// equals the number of requests issued.
 type quantiles struct {
 	Count int64   `json:"count"`
 	P50   float64 `json:"p50"`
@@ -152,7 +154,13 @@ func run(ctx context.Context, cfg loadConfig) (*report, error) {
 		err = par.ForEach(cfg.Vehicles, len(calls), func(i int) error {
 			start := time.Now()
 			out, err := client.OptimizeBatch(ctx, calls[i])
-			lat.Observe(units.SecToMs(time.Since(start).Seconds()))
+			// Observe once per item, not once per call: a 96-request run in
+			// three batches is 96 vehicle-visible latencies, not 3, and
+			// per-call observation silently under-weighted batch quantiles.
+			elapsedMs := units.SecToMs(time.Since(start).Seconds())
+			for range calls[i].Requests {
+				lat.Observe(elapsedMs)
+			}
 			if err != nil {
 				mu.Lock()
 				rep.Failed += len(calls[i].Requests)

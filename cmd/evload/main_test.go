@@ -37,7 +37,12 @@ func TestFleetLoadReuse(t *testing.T) {
 		t.Fatalf("reuse factor %.2f < 5 (%d full + %d segment solves for %d requests)",
 			rep.ReuseFactor, rep.Server.DPFullSolves, rep.Server.DPSegmentSolves, rep.Requests)
 	}
-	if rep.LatencyMs.Count == 0 || rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+	// One latency sample per request, not per batch call: 64 requests in
+	// 4 batches must observe 64 latencies (regression — this used to be 4).
+	if rep.LatencyMs.Count != int64(rep.Requests) {
+		t.Fatalf("latency count = %d, want one sample per request (%d)", rep.LatencyMs.Count, rep.Requests)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
 		t.Fatalf("latency quantiles not populated: %+v", rep.LatencyMs)
 	}
 	if rep.Server.StitchedServes == 0 {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	evopt [-variant queue-aware|green|unconstrained] [-depart s]
-//	      [-rate veh/h] [-ds m] [-dv m/s] [-dt s] [-csv]
+//	      [-rate veh/h] [-ds m] [-dv m/s] [-dt s]
+//	      [-coarse factor] [-corridor m/s] [-csv]
 package main
 
 import (
@@ -19,50 +20,69 @@ import (
 	"evvo/internal/units"
 )
 
+// options collects the command's knobs; flag parsing fills one in main and
+// tests construct them directly.
+type options struct {
+	variant    string
+	depart     float64
+	rate       float64
+	dsM        float64
+	dvMS       float64
+	dtSec      float64
+	coarse     int
+	corridorMS float64
+	csv        bool
+}
+
 func main() {
-	var (
-		variant = flag.String("variant", "queue-aware", "optimizer variant: queue-aware, green, or unconstrained")
-		depart  = flag.Float64("depart", 0, "departure time in seconds (signal cycles are anchored at t = 0)")
-		rate    = flag.Float64("rate", 153, "predicted vehicle arrival rate at signals, vehicles/hour")
-		dsM     = flag.Float64("ds", 50, "position grid Δs in metres")
-		dvMS    = flag.Float64("dv", 0.5, "velocity grid Δv in m/s")
-		dtSec   = flag.Float64("dt", 1, "time grid Δt in seconds")
-		csv     = flag.Bool("csv", false, "emit the profile as CSV (t,pos,v) instead of a table")
-	)
+	var o options
+	flag.StringVar(&o.variant, "variant", "queue-aware", "optimizer variant: queue-aware, green, or unconstrained")
+	flag.Float64Var(&o.depart, "depart", 0, "departure time in seconds (signal cycles are anchored at t = 0)")
+	flag.Float64Var(&o.rate, "rate", 153, "predicted vehicle arrival rate at signals, vehicles/hour")
+	flag.Float64Var(&o.dsM, "ds", 50, "position grid Δs in metres")
+	flag.Float64Var(&o.dvMS, "dv", 0.5, "velocity grid Δv in m/s")
+	flag.Float64Var(&o.dtSec, "dt", 1, "time grid Δt in seconds")
+	flag.IntVar(&o.coarse, "coarse", 0, "coarse-to-fine fast path: velocity-grid coarsening factor (0 = exact DP, 2-4 useful)")
+	flag.Float64Var(&o.corridorMS, "corridor", 0, "fast-path corridor half-width in m/s (0 = default 2·factor·Δv; needs -coarse)")
+	flag.BoolVar(&o.csv, "csv", false, "emit the profile as CSV (t,pos,v) instead of a table")
 	flag.Parse()
-	if err := run(*variant, *depart, *rate, *dsM, *dvMS, *dtSec, *csv); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "evopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(variant string, depart, rate, dsM, dvMS, dtSec float64, csv bool) error {
+func run(o options) error {
 	route := road.US25()
 	cfg := dp.Config{
-		Route: route, Vehicle: ev.SparkEV(), DepartTime: depart,
-		DsM: dsM, DvMS: dvMS, DtSec: dtSec, StopDwellSec: 2,
+		Route: route, Vehicle: ev.SparkEV(), DepartTime: o.depart,
+		DsM: o.dsM, DvMS: o.dvMS, DtSec: o.dtSec, StopDwellSec: 2,
+		CoarseRefine: dp.CoarseRefine{Factor: o.coarse, CorridorMS: o.corridorMS},
 	}
-	horizon := depart + 800
-	switch variant {
+	if o.corridorMS != 0 && o.coarse == 0 {
+		return fmt.Errorf("-corridor %.2f needs -coarse (the corridor brackets the coarse pass)", o.corridorMS)
+	}
+	horizon := o.depart + 800
+	switch o.variant {
 	case "green":
-		cfg.Windows = dp.GreenWindows(depart, horizon)
+		cfg.Windows = dp.GreenWindows(o.depart, horizon)
 	case "queue-aware":
 		wf, err := dp.QueueAwareWindows(queue.US25Params(),
-			dp.ConstantArrivalRate(queue.VehPerHour(rate)), depart, horizon)
+			dp.ConstantArrivalRate(queue.VehPerHour(o.rate)), o.depart, horizon)
 		if err != nil {
 			return err
 		}
 		cfg.Windows = wf
 	case "unconstrained":
 	default:
-		return fmt.Errorf("unknown variant %q", variant)
+		return fmt.Errorf("unknown variant %q", o.variant)
 	}
 
 	res, err := dp.Optimize(cfg)
 	if err != nil {
 		return err
 	}
-	if csv {
+	if o.csv {
 		fmt.Println("t_sec,pos_m,speed_ms")
 		for _, p := range res.Profile.Points() {
 			fmt.Printf("%.2f,%.1f,%.3f\n", p.T, p.Pos, p.V)
@@ -70,9 +90,17 @@ func run(variant string, depart, rate, dsM, dvMS, dtSec float64, csv bool) error
 		return nil
 	}
 	fmt.Printf("route: US-25 (%.1f km), variant: %s, depart: %.0f s\n",
-		units.MToKm(route.LengthM()), variant, depart)
+		units.MToKm(route.LengthM()), o.variant, o.depart)
 	fmt.Printf("energy: %.1f mAh   trip: %.1f s   penalized: %v\n",
 		units.AhToMAh(res.ChargeAh), res.TripSec, res.Penalized)
+	if d := res.Refined; d != nil {
+		mode := fmt.Sprintf("coarse-to-fine ×%d, corridor ±%.2f m/s (coarse pass %.1f mAh, %d states)",
+			d.Factor, d.CorridorMS, units.AhToMAh(d.CoarseChargeAh), d.CoarseStatesExpanded)
+		if d.FellBack {
+			mode = fmt.Sprintf("coarse-to-fine ×%d fell back to the exact DP", d.Factor)
+		}
+		fmt.Println("solver:", mode)
+	}
 	for _, a := range res.Arrivals {
 		status := "in window"
 		if !a.InWindow {

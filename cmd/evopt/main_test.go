@@ -4,10 +4,15 @@ import (
 	"testing"
 )
 
+// coarseOpts is the fast test grid shared by the variants.
+func coarseOpts(variant string) options {
+	return options{variant: variant, rate: 153, dsM: 100, dvMS: 1, dtSec: 2}
+}
+
 func TestRunVariants(t *testing.T) {
 	for _, variant := range []string{"queue-aware", "green", "unconstrained"} {
 		t.Run(variant, func(t *testing.T) {
-			if err := run(variant, 0, 153, 100, 1, 2, false); err != nil {
+			if err := run(coarseOpts(variant)); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -15,13 +20,36 @@ func TestRunVariants(t *testing.T) {
 }
 
 func TestRunCSV(t *testing.T) {
-	if err := run("queue-aware", 10, 153, 100, 1, 2, true); err != nil {
+	o := coarseOpts("queue-aware")
+	o.depart = 10
+	o.csv = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunCoarseRefine(t *testing.T) {
+	o := coarseOpts("queue-aware")
+	o.coarse = 3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.corridorMS = 3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCorridorWithoutCoarse(t *testing.T) {
+	o := coarseOpts("queue-aware")
+	o.corridorMS = 2
+	if err := run(o); err == nil {
+		t.Fatal("-corridor without -coarse accepted")
+	}
+}
+
 func TestRunUnknownVariant(t *testing.T) {
-	if err := run("teleport", 0, 153, 100, 1, 2, false); err == nil {
+	if err := run(coarseOpts("teleport")); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 }

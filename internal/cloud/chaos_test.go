@@ -617,3 +617,87 @@ func TestChaosAdviseDegradedFlag(t *testing.T) {
 		t.Fatalf("options = %d, want 2", len(out.Options))
 	}
 }
+
+// TestChaosSlowExactDegradesToCoarseGrid: the coarse-grid rung — the exact
+// solve blows its budget, and with CoarseLadderFactor configured the
+// service re-solves the *same* queue-aware variant on the bracketed grid
+// instead of abandoning the paper's windows for the green baseline.
+func TestChaosSlowExactDegradesToCoarseGrid(t *testing.T) {
+	// Stall only the first optimizer run (the exact primary); the coarse
+	// rerun of the same variant must go through undelayed.
+	var stalled atomic.Bool
+	_, _, ts := newChaosServer(t, func(c *ServerConfig) {
+		c.CoarseLadderFactor = 3
+		c.Faults = Faults{OptimizeDelay: func(Variant) time.Duration {
+			if stalled.CompareAndSwap(false, true) {
+				return 30 * time.Second
+			}
+			return 0
+		}}
+	})
+	c, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	resp, err := c.Optimize(context.Background(), Request{Route: "us25"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("slow exact solve must degrade to coarse grid, not fail: %v", err)
+	}
+	if !resp.Degraded || resp.DegradedReason != DegradedCoarseGrid {
+		t.Fatalf("degraded=%v reason=%q, want %q", resp.Degraded, resp.DegradedReason, DegradedCoarseGrid)
+	}
+	if !resp.Refined {
+		t.Fatal("coarse-grid rung did not mark the response Refined")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("degraded response took %v, want within the 2 s deadline", elapsed)
+	}
+	if resp.ChargeAh <= 0 || len(resp.Profile) == 0 {
+		t.Fatalf("coarse-grid plan is not drivable: %+v", resp)
+	}
+	// The rung keeps the queue-aware windows: both us25 signals are crossed
+	// inside their zero-queue windows, unpenalized.
+	if len(resp.Arrivals) != 2 {
+		t.Fatalf("arrivals = %d, want 2 signals on us25", len(resp.Arrivals))
+	}
+	for _, a := range resp.Arrivals {
+		if !a.InWindow {
+			t.Fatalf("coarse-grid plan misses a zero-queue window: %+v", resp.Arrivals)
+		}
+	}
+	if resp.Penalized {
+		t.Fatal("coarse-grid plan penalized on the chaos route")
+	}
+
+	// The coarse answer matches the exact one within the documented ε (on
+	// this corridor they are equal; 1e-3 Ah is the published bound).
+	exact, err := c.Optimize(context.Background(), Request{Route: "us25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Degraded || exact.Refined {
+		t.Fatalf("second request should be the healthy exact solve: %+v", exact)
+	}
+	if diff := resp.ChargeAh - exact.ChargeAh; diff < -1e-12 || diff > 1e-3 {
+		t.Fatalf("coarse charge %v vs exact %v: outside [0, ε]", resp.ChargeAh, exact.ChargeAh)
+	}
+
+	st := statsOf(t, ts.URL)
+	if st.DegradedByReason[DegradedCoarseGrid] != 1 {
+		t.Fatalf("stats do not count the coarse-grid rung: %+v", st.DegradedByReason)
+	}
+}
+
+// TestDegradeCoarseGridConfigValidation: factor 1 (exact re-run disguised
+// as a fallback) and negatives are config errors, not silent no-ops.
+func TestDegradeCoarseGridConfigValidation(t *testing.T) {
+	for _, factor := range []int{1, -2} {
+		cfg := ServerConfig{DPTemplate: coarseDP(), CoarseLadderFactor: factor}
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatalf("CoarseLadderFactor %d accepted", factor)
+		}
+	}
+}

@@ -22,12 +22,14 @@
 // Retry-After instead of queueing unboundedly; handler panics become 500s
 // without killing the process; and when the paper's full method cannot be
 // computed in time the response degrades down a ladder — default arrival
-// rate when the predictor fails, the green-window variant when the
-// queue-aware solve blows its budget, and finally a stale cache entry —
-// each annotated with degraded/degradedReason. The degraded answers are
-// exactly the paper's own baselines (Ozatay-style and green-signal DP):
-// valid, just less efficient, which is the right trade for a driver
-// already rolling toward the first intersection.
+// rate when the predictor fails, a coarse-grid approximate solve when the
+// exact solve blows its budget (if CoarseLadderFactor is set), the
+// green-window variant below that, and finally a stale cache entry — each
+// annotated with degraded/degradedReason. The degraded answers are either
+// the paper's own method on a bracketed grid (DESIGN.md §12) or the
+// paper's baselines (Ozatay-style and green-signal DP): valid, just less
+// efficient, which is the right trade for a driver already rolling toward
+// the first intersection.
 package cloud
 
 import (
@@ -74,6 +76,10 @@ const (
 	// DegradedPredictorFallback: the arrival-rate predictor failed; the
 	// zero-queue windows were computed from the configured fallback rate.
 	DegradedPredictorFallback = "predictor-default-rate"
+	// DegradedCoarseGrid: the exact solve exceeded its compute budget; the
+	// response is the requested variant solved through the coarse-to-fine
+	// fast path (DESIGN.md §12) at the configured CoarseLadderFactor.
+	DegradedCoarseGrid = "coarse-grid"
 	// DegradedGreenFallback: the queue-aware solve exceeded its compute
 	// budget; the response is the green-window variant.
 	DegradedGreenFallback = "green-fallback"
@@ -127,6 +133,10 @@ type Response struct {
 	// methods — just less efficient.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// Refined is true when the plan came from the coarse-to-fine
+	// approximate-DP fast path (the coarse-grid ladder rung, or a
+	// DPTemplate with CoarseRefine configured) rather than the exact DP.
+	Refined bool `json:"refined,omitempty"`
 }
 
 // Stats are service counters.
@@ -211,6 +221,14 @@ type ServerConfig struct {
 	// variant; the remainder is the fallback's budget (default 0.5; must
 	// be in (0, 1]; 1 reserves nothing).
 	DegradeBudgetFrac float64
+	// CoarseLadderFactor, when ≥ 2, adds a rung to the degradation ladder
+	// between the exact solve and the green fallback: the requested variant
+	// re-solved through the coarse-to-fine fast path (dp.CoarseRefine) at
+	// this velocity-grid factor. The rung costs roughly 1/Factor² of the
+	// exact solve and stays within the documented ε of its cost, so it is
+	// tried before abandoning the queue-aware windows altogether. 0
+	// disables the rung; 1 and negatives are config errors.
+	CoarseLadderFactor int
 
 	// MaxInFlight bounds concurrently computing optimize/advise requests
 	// (default 2×GOMAXPROCS; negative disables admission control).
@@ -340,6 +358,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.DegradeBudgetFrac < 0 || cfg.DegradeBudgetFrac > 1 {
 		return nil, fmt.Errorf("cloud: degrade budget fraction %.2f must be in (0, 1]", cfg.DegradeBudgetFrac)
+	}
+	if cfg.CoarseLadderFactor != 0 && cfg.CoarseLadderFactor < 2 {
+		// Factor 1 would re-run the exact solve as its own "fallback" and
+		// negatives are meaningless; both hide a misconfiguration.
+		return nil, fmt.Errorf("cloud: coarse ladder factor %d must be 0 (off) or ≥ 2", cfg.CoarseLadderFactor)
 	}
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -628,17 +651,22 @@ func (s *Server) cacheKey(req Request) string {
 //
 //	rung 0  full method, with the predictor falling back to the default
 //	        arrival rate if it errors (degraded: predictor-default-rate)
-//	rung 1  green-window variant when the queue-aware solve exceeds its
+//	rung 1  the same variant through the coarse-to-fine fast path when the
+//	        exact solve exceeds its share of the deadline and
+//	        CoarseLadderFactor is configured (degraded: coarse-grid)
+//	rung 2  green-window variant when the queue-aware solve exceeds its
 //	        share of the deadline (degraded: green-fallback)
-//	rung 2  a stale cache entry for the same route (degraded: stale-cache)
+//	rung 3  a stale cache entry for the same route (degraded: stale-cache)
 //
-// Following Ozatay et al. (PAPERS.md), the lower rungs are the baselines
-// the paper compares against: still-valid velocity profiles, just without
-// the queue-aware (or any) signal timing — strictly better than an error
-// for a vehicle that needs *a* profile now.
+// The coarse rung keeps the paper's queue-aware windows — it only brackets
+// the velocity grid (DESIGN.md §12) — so it is tried first. Following
+// Ozatay et al. (PAPERS.md), the lower rungs are the baselines the paper
+// compares against: still-valid velocity profiles, just without the
+// queue-aware (or any) signal timing — strictly better than an error for a
+// vehicle that needs *a* profile now.
 func (s *Server) optimize(ctx context.Context, route *road.Route, req Request) (*Response, error) {
 	primary, cancel := s.primaryBudget(ctx, req.Variant)
-	resp, err := s.runVariant(primary, route, req, req.Variant)
+	resp, err := s.runVariant(primary, route, req, req.Variant, false)
 	if cancel != nil {
 		cancel()
 	}
@@ -651,10 +679,23 @@ func (s *Server) optimize(ctx context.Context, route *road.Route, req Request) (
 	if !isCtxErr(err) {
 		return nil, err // genuine optimizer error; the ladder is for slowness
 	}
+	if ctx.Err() == nil && s.cfg.CoarseLadderFactor >= 2 {
+		// The exact solve blew its budget but the request still has time:
+		// re-solve the same variant on the bracketed grid, ~Factor² cheaper.
+		c, cerr := s.runVariant(ctx, route, req, req.Variant, true)
+		if cerr == nil {
+			c.Degraded, c.DegradedReason = true, DegradedCoarseGrid
+			s.degraded.Inc(DegradedCoarseGrid)
+			return c, nil
+		}
+		if !isCtxErr(cerr) {
+			return nil, cerr
+		}
+	}
 	if ctx.Err() == nil && req.Variant == VariantQueueAware {
 		// The full method blew its budget but the request still has time:
 		// compute the green-window baseline on the remaining budget.
-		g, gerr := s.runVariant(ctx, route, req, VariantGreen)
+		g, gerr := s.runVariant(ctx, route, req, VariantGreen, false)
 		if gerr == nil {
 			g.Degraded, g.DegradedReason = true, DegradedGreenFallback
 			s.degraded.Inc(DegradedGreenFallback)
@@ -743,8 +784,13 @@ func (s *Server) arrivalRate(req Request, degraded *bool) func(road.Control) flo
 }
 
 // runVariant executes one optimizer variant under ctx, applying the
-// fault-injection seam and the predictor fallback.
-func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request, variant Variant) (*Response, error) {
+// fault-injection seam and the predictor fallback. With coarse set it runs
+// the coarse-grid ladder rung: the template's CoarseRefine is overridden
+// with CoarseLadderFactor and the solve bypasses the segment-table path —
+// the shared tables are keyed to the exact grid, and building coarse
+// tables under a route's name would displace the exact ones for every
+// later request.
+func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request, variant Variant, coarse bool) (*Response, error) {
 	if f := s.cfg.Faults.OptimizeDelay; f != nil {
 		if !sleepCtx(f(variant), ctx.Done()) {
 			return nil, ctx.Err()
@@ -754,6 +800,9 @@ func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request,
 	cfg.Route = route
 	cfg.Vehicle = s.cfg.Vehicle
 	cfg.DepartTime = req.DepartTime
+	if coarse {
+		cfg.CoarseRefine = dp.CoarseRefine{Factor: s.cfg.CoarseLadderFactor}
+	}
 	if cfg.MaxTripSec == 0 {
 		cfg.MaxTripSec = 600
 	}
@@ -774,7 +823,14 @@ func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request,
 		cfg.Windows = nil
 	}
 
-	res, err := s.solve(ctx, req.Route, cfg)
+	var res *dp.Result
+	var err error
+	if coarse {
+		s.dpFullSolves.Inc()
+		res, err = optimizeDP(ctx, cfg)
+	} else {
+		res, err = s.solve(ctx, req.Route, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -782,6 +838,7 @@ func (s *Server) runVariant(ctx context.Context, route *road.Route, req Request,
 		ChargeAh:  res.ChargeAh,
 		TripSec:   res.TripSec,
 		Penalized: res.Penalized,
+		Refined:   res.Refined != nil,
 	}
 	for _, p := range res.Profile.Points() {
 		out.Profile = append(out.Profile, PointJSON{T: p.T, Pos: p.Pos, V: p.V})

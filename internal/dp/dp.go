@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 
 	"evvo/internal/ev"
 	"evvo/internal/profile"
@@ -92,12 +93,24 @@ type Config struct {
 	// Windows supplies arrival windows per signal; nil ignores signals.
 	Windows WindowsFunc
 
+	// CoarseRefine, when Factor ≥ 2, enables the coarse-to-fine
+	// approximate-DP fast path (refine.go): solve on a velocity grid
+	// coarsened by Factor, then re-solve the exact grid restricted to a
+	// corridor around the coarse winner. Results carry a Refined
+	// diagnostic; the error contract is documented in DESIGN.md §12.
+	CoarseRefine CoarseRefine
+
 	// Workers bounds the goroutines used for the per-stage relaxation.
 	// 0 uses runtime.GOMAXPROCS(0); 1 forces a serial pass. Any worker
 	// count produces bit-identical results (see parallel.go), so this is
 	// purely a throughput knob.
 	Workers int
 }
+
+// DefaultDvMS is the default velocity discretization Δv in m/s, exported so
+// callers deriving coarsened grids from a zero-valued Config (the cloud's
+// degradation ladder) scale from the same base.
+const DefaultDvMS = 0.5
 
 func (c *Config) applyDefaults() {
 	if c.MaxTripSec == 0 {
@@ -107,7 +120,7 @@ func (c *Config) applyDefaults() {
 		c.DsM = 50
 	}
 	if c.DvMS == 0 {
-		c.DvMS = 0.5
+		c.DvMS = DefaultDvMS
 	}
 	if c.DtSec == 0 {
 		c.DtSec = 1
@@ -160,6 +173,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("dp: %.0f time buckets exceed the backpointer packing limit; raise Δt or lower MaxTripSec", c.MaxTripSec/c.DtSec)
 	case c.Workers < 0:
 		return fmt.Errorf("dp: worker count %d must be non-negative", c.Workers)
+	case c.CoarseRefine.Factor < 0 || c.CoarseRefine.Factor == 1:
+		return fmt.Errorf("dp: coarse-refine factor %d must be 0 (off) or ≥ 2", c.CoarseRefine.Factor)
+	case c.CoarseRefine.CorridorMS < 0:
+		return fmt.Errorf("dp: coarse-refine corridor %.2f m/s must be non-negative", c.CoarseRefine.CorridorMS)
 	}
 	return nil
 }
@@ -192,8 +209,13 @@ type Result struct {
 	// Penalized is true when any signal arrival missed its window (the
 	// trajectory is then best-effort, not queue-free).
 	Penalized bool
-	// StatesExpanded counts DP relaxations, for benchmarks.
+	// StatesExpanded counts DP relaxations, for benchmarks. For a
+	// coarse-refined result this is the fine (corridor) pass only; the
+	// coarse pass's count is in Refined.
 	StatesExpanded int
+	// Refined is non-nil when the coarse-to-fine fast path produced this
+	// result (Config.CoarseRefine, refine.go).
+	Refined *RefineDiag
 }
 
 const inf = math.MaxFloat64
@@ -250,9 +272,11 @@ func buildGrid(cfg *Config) (dpGrid, error) {
 }
 
 // shrunkWindows collects the admissible windows per signal stage,
-// margin-shrunk. A stage present in the map with an empty slice means no
-// admissible arrival at all (oversaturated queue): every arrival there is
-// penalized. Stages absent from the map are unconstrained.
+// margin-shrunk and sorted by start time — the relaxation's commit loop
+// walks them with a cursor and relies on the order. A stage present in the
+// map with an empty slice means no admissible arrival at all (oversaturated
+// queue): every arrival there is penalized. Stages absent from the map are
+// unconstrained.
 func shrunkWindows(cfg *Config, stages []stageInfo) map[int][]queue.Window {
 	windows := make(map[int][]queue.Window)
 	for i, st := range stages {
@@ -270,6 +294,7 @@ func shrunkWindows(cfg *Config, stages []stageInfo) map[int][]queue.Window {
 				ws = append(ws, queue.Window{Start: s, End: e})
 			}
 		}
+		sort.Slice(ws, func(a, b int) bool { return ws[a].Start < ws[b].Start })
 		windows[i] = ws
 	}
 	return windows
@@ -291,43 +316,60 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.CoarseRefine.Factor >= 2 {
+		return optimizeRefined(ctx, cfg)
+	}
+	res, _, err := optimizeCore(ctx, cfg, nil)
+	return res, err
+}
 
+// optimizeCore runs the full DP on an already defaulted and validated
+// Config, ignoring cfg.CoarseRefine. corr, when non-nil, restricts each
+// stage's velocity band (the refine pass); nil solves the exact problem.
+// Alongside the Result it returns the winning velocity-index sequence, the
+// input the refine pass's corridor is built from.
+func optimizeCore(ctx context.Context, cfg Config, corr *corridor) (*Result, []int, error) {
 	g, err := buildGrid(&cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n, ds, jMax, kMax := g.n, g.ds, g.jMax, g.kMax
 
 	stages, err := buildStages(cfg, n, ds, jMax)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if corr != nil {
+		corr.apply(stages)
 	}
 
 	windows := shrunkWindows(&cfg, stages)
 
-	// cost and backpointers, flattened [stage][j*(kMax+1)+k]. The time
-	// bucket k discretizes the state space; exact carries the true elapsed
-	// time of each bucket's best path so window checks and the assembled
-	// profile do not suffer accumulated rounding drift.
-	width := (jMax + 1) * (kMax + 1)
-	cost := make([][]float64, n+1)
-	exact := make([][]float64, n+1)
-	back := make([][]int32, n+1) // packed prev j<<16 | k; -1 = none
-	for i := range cost {
-		// Allocating and seeding the value arrays can dominate start-up on
-		// fine grids, so the cancellation contract covers it per stage too.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cost[i] = make([]float64, width)
-		exact[i] = make([]float64, width)
-		back[i] = make([]int32, width)
-		for x := range cost[i] {
-			cost[i][x] = inf
-			back[i][x] = -1
-		}
+	// Value arrays, flattened [j*(kMax+1)+k]. The time bucket k discretizes
+	// the state space; exact carries the true elapsed time of each bucket's
+	// best path so window checks and the assembled profile do not suffer
+	// accumulated rounding drift. Only two stages are ever alive at once —
+	// the stage being read and the stage being written — so cost and exact
+	// are double-buffered rather than allocated per stage; backpointers are
+	// needed for the final walk and live in one flat slab (stage i's
+	// incoming pointers at (i-1)*width). Cells the relaxation never writes
+	// keep stale exact values from two stages back; they are unreachable,
+	// because every read is guarded by the freshly inf-seeded cost.
+	kw := kMax + 1
+	width := (jMax + 1) * kw
+	slabs := grabSlabs(width, n*width, cfg.Workers, jMax+1, kw)
+	defer slabPool.Put(slabs)
+	curCost := slabs.vals[0*width : 1*width]
+	nxtCost := slabs.vals[1*width : 2*width]
+	curExact := slabs.vals[2*width : 3*width]
+	nxtExact := slabs.vals[3*width : 4*width]
+	backs := slabs.backs
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
-	cost[0][0] = 0 // v=0, elapsed=0 at the source
+	fillF64(curCost, inf)
+	curCost[0] = 0  // v=0, elapsed=0 at the source
+	curExact[0] = 0 // the one exact cell read without a commit having written it
 
 	// Hoisted transition physics: the traversal time, charge ζ and power
 	// mask of a (j, j2) transition depend only on the speed pair and the
@@ -336,6 +378,8 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	// (a factor-kMax redundancy in the innermost loop otherwise).
 	bands := newAccelBands(&cfg, ds, jMax)
 	trans := newTransitionCache(&cfg, ds, jMax, bands)
+	pool := slabs.pool
+	pool.seed(0, 0, kw)
 
 	expanded := 0
 	for i := 0; i < n; i++ {
@@ -343,36 +387,47 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 		// (stageRelax.run waits on its WaitGroup), so returning here
 		// abandons only this call's private arrays.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cur, nxt := stages[i], stages[i+1]
 		ws, hasWin := windows[i+1]
+		// Only the destination band's columns are ever written or read back
+		// (the next stage's predecessor scan stays inside it), so the
+		// inf/-1 seeding is banded too — on recycled slabs the cells outside
+		// hold stale values that no read can reach.
+		bLo, bHi := nxt.minJ*kw, (nxt.maxJ+1)*kw
+		fillF64(nxtCost[bLo:bHi], inf)
+		fillI32(backs[i*width+bLo:i*width+bHi], -1)
 		sr := &stageRelax{
 			kMax: kMax, tw: jMax + 1,
 			curMinJ: cur.minJ, curMaxJ: cur.maxJ,
 			nxtMinJ: nxt.minJ, nxtMaxJ: nxt.maxJ,
 			bands:   bands,
 			tr:      trans.forGrade(cfg.Route.GradeAt(cur.posM + ds/2)),
-			dTau:    trans.dTau,
-			curCost: cost[i], curExact: exact[i],
-			nxtCost: cost[i+1], nxtExact: exact[i+1], nxtBack: back[i+1],
-			dwell: cur.dwellSec, timeW: cfg.TimeWeightAhPerSec,
-			maxTrip: cfg.MaxTripSec, dt: cfg.DtSec,
+			dTauT:   trans.dTauT,
+			curCost: curCost, curExact: curExact,
+			nxtCost: nxtCost, nxtExact: nxtExact,
+			nxtBack: backs[i*width : (i+1)*width],
+			dwell:   cur.dwellSec, timeW: cfg.TimeWeightAhPerSec,
+			maxTrip: cfg.MaxTripSec, invDt: 1 / cfg.DtSec,
 			depart: cfg.DepartTime, penalty: cfg.PenaltyAh,
 			ws: ws, hasWin: hasWin,
 		}
-		expanded += sr.run(cfg.Workers)
+		expanded += sr.run(cfg.Workers, pool)
+		curCost, nxtCost = nxtCost, curCost
+		curExact, nxtExact = nxtExact, curExact
+		pool.advance()
 	}
 
-	// Destination: v = 0, best over arrival buckets.
+	// Destination: v = 0, best over arrival buckets (cur now holds stage n).
 	bestK, bestCost := -1, inf
 	for k := 0; k <= kMax; k++ {
-		if c := cost[n][k]; c < bestCost {
+		if c := curCost[k]; c < bestCost {
 			bestCost, bestK = c, k
 		}
 	}
 	if bestK < 0 {
-		return nil, fmt.Errorf("dp: no feasible trajectory within %.0f s (grid Δs=%.0f Δv=%.2f Δt=%.1f)",
+		return nil, nil, fmt.Errorf("dp: no feasible trajectory within %.0f s (grid Δs=%.0f Δv=%.2f Δt=%.1f)",
 			cfg.MaxTripSec, ds, cfg.DvMS, cfg.DtSec)
 	}
 
@@ -381,14 +436,18 @@ func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	ks := make([]int, n+1)
 	js[n], ks[n] = 0, bestK
 	for i := n; i > 0; i-- {
-		bp := back[i][js[i]*(kMax+1)+ks[i]]
+		bp := backs[(i-1)*width+js[i]*kw+ks[i]]
 		if bp < 0 {
-			return nil, fmt.Errorf("dp: broken backpointer at stage %d", i)
+			return nil, nil, fmt.Errorf("dp: broken backpointer at stage %d", i)
 		}
 		js[i-1], ks[i-1] = int(bp>>16), int(bp&0xffff)
 	}
 
-	return assemble(cfg, stages, js, ds, windows, bestCost, expanded)
+	res, err := assemble(cfg, stages, js, ds, windows, bestCost, expanded)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, js, nil
 }
 
 // assemble rebuilds the continuous-time profile and diagnostics from the

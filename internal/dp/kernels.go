@@ -1,0 +1,140 @@
+// Lane kernels for the DP relaxation (DESIGN.md §12).
+//
+// The gather pass (parallel.go) splits each (destination column j2, source
+// column j) row into two phases: a vectorizable *evaluation* over the
+// source row's time buckets — candidate cost, exact elapsed time, target
+// bucket and feasibility mask as parallel float64 lanes — and a scalar
+// *commit* that resolves the k2 scatter. relaxEval is the evaluation phase:
+// it dispatches to the AVX2 kernel (kernels_amd64.s) when the CPU supports
+// it and finishes any non-multiple-of-4 tail with the portable Go
+// reference. The assembly is a lane-for-lane transcription of relaxEvalGo —
+// separate VMULPD/VADDPD in the reference's operation order, never FMA — so
+// the two are bit-identical on every input (pinned by kernels_test.go).
+package dp
+
+import (
+	"math"
+	"sync"
+)
+
+// solveSlabs recycles a solve's large allocations across OptimizeCtx calls:
+// the four double-buffered value arrays (one backing slab, sub-sliced), the
+// backpointer slab and the relaxation pool. Recycling is safe because the
+// DP re-seeds everything it reads — cost and backpointer cells are
+// inf/-1-filled per stage across the destination band that bounds every
+// read, and exact/scratch cells are only ever read behind a finite-cost
+// mask — so stale contents cannot leak between solves. The arrays hold no pointers, which also keeps them out of
+// GC scans.
+type solveSlabs struct {
+	vals  []float64 // 4*width: curCost, nxtCost, curExact, nxtExact
+	backs []int32
+	pool  *relaxPool
+}
+
+var slabPool = sync.Pool{New: func() any { return new(solveSlabs) }}
+
+// grabSlabs returns recycled slabs grown to the given geometry.
+func grabSlabs(width, nBacks, workers, jw, kw int) *solveSlabs {
+	s := slabPool.Get().(*solveSlabs)
+	if cap(s.vals) < 4*width {
+		s.vals = make([]float64, 4*width)
+	}
+	s.vals = s.vals[:4*width]
+	if cap(s.backs) < nBacks {
+		s.backs = make([]int32, nBacks)
+	}
+	s.backs = s.backs[:nBacks]
+	s.pool = s.pool.fit(workers, jw, kw)
+	return s
+}
+
+// relaxEval fills, for each source time bucket k in [0, len(cost)):
+//
+//	cand[k] = (cost[k] + zeta) + tCost          // candidate cost, no penalty
+//	tot[k]  = exact[k] + step                   // exact elapsed time
+//	k2f[k]  = min(floor(tot[k]*invDt+0.5), kMaxF) // destination bucket
+//	mask bit k = cost[k] != inf && tot[k] <= maxTrip
+//
+// mask packs 4 lanes per byte (bit k&3 of mask[k>>2]). The window penalty
+// is deliberately excluded: it needs the absolute arrival time and is added
+// by the scalar commit pass, which only looks at masked-in lanes.
+//
+// Inputs must be free of NaNs (the DP arrays only ever hold finite values
+// or the inf sentinel); the asm and Go paths are bit-identical under that
+// contract and diverge only in NaN min-propagation.
+func relaxEval(cand, tot, k2f []float64, mask []uint8, cost, exact []float64,
+	zeta, tCost, step, maxTrip, invDt, kMaxF float64, useAsm bool) {
+
+	from := 0
+	if useAsm {
+		if n4 := len(cost) &^ 3; n4 > 0 {
+			relaxEvalAsm(cand[:n4], tot[:n4], k2f[:n4], mask[:n4>>2], cost[:n4], exact[:n4],
+				zeta, tCost, step, maxTrip, invDt, kMaxF)
+			from = n4
+		}
+	}
+	relaxEvalGo(cand, tot, k2f, mask, cost, exact, zeta, tCost, step, maxTrip, invDt, kMaxF, from)
+}
+
+// relaxEvalGo is the portable reference for relaxEval, starting at lane
+// `from` (always a multiple of 4). The expression order is the kernel
+// contract: the assembly must perform the exact same roundings.
+func relaxEvalGo(cand, tot, k2f []float64, mask []uint8, cost, exact []float64,
+	zeta, tCost, step, maxTrip, invDt, kMaxF float64, from int) {
+
+	for k := from; k < len(cost); k++ {
+		if k&3 == 0 {
+			mask[k>>2] = 0
+		}
+		c0 := cost[k]
+		e := exact[k] + step
+		cand[k] = (c0 + zeta) + tCost
+		tot[k] = e
+		f := math.Floor(e*invDt + 0.5)
+		if f > kMaxF {
+			f = kMaxF
+		}
+		k2f[k] = f
+		//lint:allow floateq inf is the exact MaxFloat64 unreached-state sentinel, assigned verbatim and never computed
+		if c0 != inf && e <= maxTrip {
+			mask[k>>2] |= 1 << (k & 3)
+		}
+	}
+}
+
+// SetAsmKernels forces the assembly kernels on or off and returns the
+// previous setting. Enabling them on a CPU without AVX2 support is a no-op.
+// Intended for tests and benchmarks; do not call concurrently with a
+// running solve (each stage snapshots the setting before spawning workers,
+// so flips between solves are always safe).
+func SetAsmKernels(on bool) (prev bool) {
+	prev = useAsmKernels
+	useAsmKernels = on && asmSupported
+	return prev
+}
+
+// KernelsEnabled reports whether the AVX2 relaxation kernels are in use.
+func KernelsEnabled() bool { return useAsmKernels }
+
+// fillF64 sets every element of dst to v by copy-doubling (compiles to
+// memmove chunks, far faster than an element loop on the wide DP slabs).
+func fillF64(dst []float64, v float64) {
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = v
+	for i := 1; i < len(dst); i *= 2 {
+		copy(dst[i:], dst[:i])
+	}
+}
+
+// fillI32 sets every element of dst to v by copy-doubling.
+func fillI32(dst []int32, v int32) {
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = v
+	for i := 1; i < len(dst); i *= 2 {
+		copy(dst[i:], dst[:i])
+	}
+}

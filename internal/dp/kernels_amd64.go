@@ -1,0 +1,44 @@
+//go:build amd64
+
+package dp
+
+// CPU feature probes (kernels_amd64.s).
+func dpcpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func dpxgetbv() (eax, edx uint32)
+
+// relaxEvalAsm is the AVX2 form of relaxEvalGo over a 4-lane-aligned prefix:
+// len(cost) must be a positive multiple of 4 and all six slices sized to
+// match (mask holds len/4 bytes). Adds and multiplies are separate
+// instructions in the reference's order (never FMA), the bucket index uses
+// VROUNDPD toward -inf after the +0.5 add, and the clamp is VMINPD with
+// kMaxF in the second-operand position — each lane performs the exact
+// rounding sequence of relaxEvalGo.
+//
+//go:noescape
+func relaxEvalAsm(cand, tot, k2f []float64, mask []uint8, cost, exact []float64,
+	zeta, tCost, step, maxTrip, invDt, kMaxF float64)
+
+// asmSupported records the CPU probe; useAsmKernels is the live switch
+// (SetAsmKernels can turn it off, or back on up to asmSupported).
+var asmSupported = detectKernels()
+var useAsmKernels = asmSupported
+
+func detectKernels() bool {
+	maxID, _, _, _ := dpcpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := dpcpuid(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := dpxgetbv(); xcr0&0x6 != 0x6 {
+		return false // OS does not preserve YMM state
+	}
+	_, b7, _, _ := dpcpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}

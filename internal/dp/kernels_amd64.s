@@ -1,0 +1,95 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernel for the DP relaxation's evaluation pass. Contract (see
+// kernels.go): per lane, floating-point operations happen in the exact
+// order of relaxEvalGo — separate VMULPD/VADDPD (an FMA would skip the
+// intermediate rounding the reference performs), VROUNDPD toward -inf for
+// the floor, VMINPD with kMaxF as the second operand so the clamp keeps
+// the floor result whenever it is strictly below kMaxF, exactly like the
+// reference's `if f > kMaxF` branch on NaN-free input.
+
+// func dpcpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·dpcpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func dpxgetbv() (eax, edx uint32)
+TEXT ·dpxgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// 4-lane broadcast constants: the inf sentinel (math.MaxFloat64, assigned
+// verbatim by the DP, never computed) and the rounding bias.
+DATA relaxinf<>+0(SB)/8, $0x7FEFFFFFFFFFFFFF
+GLOBL relaxinf<>+0(SB), RODATA, $8
+DATA relaxhalf<>+0(SB)/8, $0.5
+GLOBL relaxhalf<>+0(SB), RODATA, $8
+
+// func relaxEvalAsm(cand, tot, k2f []float64, mask []uint8, cost, exact []float64,
+//	zeta, tCost, step, maxTrip, invDt, kMaxF float64)
+//
+// len(cost) is a positive multiple of 4 (the Go wrapper slices to the
+// aligned prefix). Per 4-lane block:
+//
+//	e    = exact + step
+//	cand = (cost + zeta) + tCost
+//	k2f  = min(floor(e*invDt + 0.5), kMaxF)
+//	mask = (cost != inf) & (e <= maxTrip)   // NEQ_UQ, LE_OS sign bits
+//
+// Register map: DI=cand SI=tot DX=k2f BX=mask R8=cost R9=exact CX=len
+// R10=lane index; Y8=zeta Y9=tCost Y10=step Y11=maxTrip Y12=invDt
+// Y13=0.5 Y14=kMaxF Y15=inf, Y0-Y5 scratch.
+TEXT ·relaxEvalAsm(SB), NOSPLIT, $0-192
+	MOVQ cand_base+0(FP), DI
+	MOVQ tot_base+24(FP), SI
+	MOVQ k2f_base+48(FP), DX
+	MOVQ mask_base+72(FP), BX
+	MOVQ cost_base+96(FP), R8
+	MOVQ cost_len+104(FP), CX
+	MOVQ exact_base+120(FP), R9
+	VBROADCASTSD zeta+144(FP), Y8
+	VBROADCASTSD tCost+152(FP), Y9
+	VBROADCASTSD step+160(FP), Y10
+	VBROADCASTSD maxTrip+168(FP), Y11
+	VBROADCASTSD invDt+176(FP), Y12
+	VBROADCASTSD relaxhalf<>+0(SB), Y13
+	VBROADCASTSD kMaxF+184(FP), Y14
+	VBROADCASTSD relaxinf<>+0(SB), Y15
+	XORQ R10, R10
+
+relaxloop:
+	VMOVUPD (R8)(R10*8), Y0   // c0 = cost
+	VMOVUPD (R9)(R10*8), Y1   // exact
+	VADDPD  Y10, Y1, Y1       // e = exact + step
+	VADDPD  Y8, Y0, Y2        // c0 + zeta
+	VADDPD  Y9, Y2, Y2        // (c0 + zeta) + tCost
+	VMOVUPD Y2, (DI)(R10*8)   // cand
+	VMOVUPD Y1, (SI)(R10*8)   // tot
+	VMULPD  Y12, Y1, Y3       // e * invDt
+	VADDPD  Y13, Y3, Y3       // + 0.5
+	VROUNDPD $1, Y3, Y3       // floor (toward -inf)
+	VMINPD  Y14, Y3, Y3       // min(·, kMaxF); keeps floor when < kMaxF
+	VMOVUPD Y3, (DX)(R10*8)   // k2f
+	VCMPPD  $4, Y15, Y0, Y4   // c0 != inf (NEQ_UQ)
+	VCMPPD  $2, Y11, Y1, Y5   // e <= maxTrip (LE_OS)
+	VANDPD  Y5, Y4, Y4
+	VMOVMSKPD Y4, AX          // 4 sign bits -> low nibble
+	MOVB    AX, (BX)
+	INCQ    BX
+	ADDQ    $4, R10
+	CMPQ    R10, CX
+	JLT     relaxloop
+
+	VZEROUPPER
+	RET

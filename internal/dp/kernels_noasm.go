@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package dp
+
+// Non-amd64 builds run the portable relaxEvalGo only; the dispatch flags
+// stay false so relaxEvalAsm is never reached.
+var asmSupported = false
+var useAsmKernels = false
+
+func relaxEvalAsm(cand, tot, k2f []float64, mask []uint8, cost, exact []float64,
+	zeta, tCost, step, maxTrip, invDt, kMaxF float64) {
+	panic("dp: relaxEvalAsm called without amd64 support")
+}

@@ -1,0 +1,138 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evvo/internal/queue"
+)
+
+// randLanes builds a source row like the DP's: a mix of finite costs and
+// inf sentinels, with exact times that keep some lanes inside and some
+// outside the trip budget. No NaNs, per the kernel contract.
+func randLanes(rng *rand.Rand, n int) (cost, exact []float64) {
+	cost = make([]float64, n)
+	exact = make([]float64, n)
+	for i := range cost {
+		if rng.Float64() < 0.3 {
+			cost[i] = inf
+			// Unreached cells can hold any stale exact value, including huge
+			// ones from a recycled slab.
+			exact[i] = rng.Float64() * 1e12
+			continue
+		}
+		cost[i] = rng.NormFloat64() * 3
+		exact[i] = rng.Float64() * 900
+	}
+	return cost, exact
+}
+
+// TestRelaxEvalAsmMatchesGo pins the bit-parity contract: the AVX2 kernel
+// must produce bit-identical lanes to the portable reference for every
+// length, including ragged tails handled by the Go epilogue.
+func TestRelaxEvalAsmMatchesGo(t *testing.T) {
+	if !asmSupported {
+		t.Skip("no AVX2 on this CPU")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 63, 64, 65, 421, 1000} {
+		cost, exact := randLanes(rng, n)
+		zeta := rng.NormFloat64()
+		tCost := rng.Float64() * 0.01
+		step := 1 + rng.Float64()*20
+		maxTrip := 840.0
+		invDt := 1 / 2.0
+		kMaxF := 420.0
+
+		nb := (n + 3) / 4
+		aCand, aTot, aK2f := make([]float64, n), make([]float64, n), make([]float64, n)
+		aMask := make([]uint8, nb)
+		gCand, gTot, gK2f := make([]float64, n), make([]float64, n), make([]float64, n)
+		gMask := make([]uint8, nb)
+
+		relaxEval(aCand, aTot, aK2f, aMask, cost, exact, zeta, tCost, step, maxTrip, invDt, kMaxF, true)
+		relaxEval(gCand, gTot, gK2f, gMask, cost, exact, zeta, tCost, step, maxTrip, invDt, kMaxF, false)
+
+		for k := 0; k < n; k++ {
+			if math.Float64bits(aCand[k]) != math.Float64bits(gCand[k]) {
+				t.Fatalf("n=%d lane %d cand: asm %x go %x", n, k, math.Float64bits(aCand[k]), math.Float64bits(gCand[k]))
+			}
+			if math.Float64bits(aTot[k]) != math.Float64bits(gTot[k]) {
+				t.Fatalf("n=%d lane %d tot: asm %x go %x", n, k, math.Float64bits(aTot[k]), math.Float64bits(gTot[k]))
+			}
+			if math.Float64bits(aK2f[k]) != math.Float64bits(gK2f[k]) {
+				t.Fatalf("n=%d lane %d k2f: asm %v go %v", n, k, aK2f[k], gK2f[k])
+			}
+		}
+		for b := 0; b < nb; b++ {
+			if aMask[b] != gMask[b] {
+				t.Fatalf("n=%d mask byte %d: asm %04b go %04b", n, b, aMask[b], gMask[b])
+			}
+		}
+	}
+}
+
+// TestRelaxEvalClampAndSentinel exercises the two delicate lanes of the
+// contract directly: the kMaxF clamp (floor result above the bucket range)
+// and the inf sentinel match (NEQ on the exact MaxFloat64 bit pattern).
+func TestRelaxEvalClampAndSentinel(t *testing.T) {
+	cost := []float64{0, inf, 1, 2}
+	exact := []float64{0, 0, 1e6, 839}
+	cand, tot, k2f := make([]float64, 4), make([]float64, 4), make([]float64, 4)
+	mask := make([]uint8, 1)
+	for _, useAsm := range []bool{false, asmSupported} {
+		relaxEval(cand, tot, k2f, mask, cost, exact, 0.5, 0.01, 1, 840, 0.5, 420, useAsm)
+		if k2f[2] != 420 {
+			t.Fatalf("useAsm=%v: clamp failed, k2f=%v", useAsm, k2f[2])
+		}
+		// Lane 0 feasible, lane 1 inf-masked, lane 2 over budget, lane 3 at
+		// the budget edge (tot = 840 <= 840).
+		if mask[0] != 0b1001 {
+			t.Fatalf("useAsm=%v: mask %04b, want 1001", useAsm, mask[0])
+		}
+	}
+}
+
+// TestSolveParityKernelsOnOff runs the full Fig-6-style solve with kernels
+// forced on and off and requires bit-identical results, for serial and
+// parallel relaxation. This is the end-to-end form of the parity contract.
+func TestSolveParityKernelsOnOff(t *testing.T) {
+	if !asmSupported {
+		t.Skip("no AVX2 on this CPU")
+	}
+	wf, err := QueueAwareWindows(queue.US25Params(),
+		ConstantArrivalRate(queue.VehPerHour(153)), 0, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := coarseUS25(wf)
+		cfg.DepartTime = 40
+		cfg.StopDwellSec = 2
+		cfg.Workers = workers
+
+		prev := SetAsmKernels(true)
+		on, errOn := Optimize(cfg)
+		SetAsmKernels(false)
+		off, errOff := Optimize(cfg)
+		SetAsmKernels(prev)
+
+		if errOn != nil || errOff != nil {
+			t.Fatalf("workers=%d: errOn=%v errOff=%v", workers, errOn, errOff)
+		}
+		requireIdenticalResults(t, on, off, "kernels on vs off")
+	}
+}
+
+func TestSetAsmKernelsReportsState(t *testing.T) {
+	prev := SetAsmKernels(false)
+	if KernelsEnabled() {
+		t.Fatal("kernels reported enabled after SetAsmKernels(false)")
+	}
+	SetAsmKernels(true)
+	if KernelsEnabled() != asmSupported {
+		t.Fatalf("KernelsEnabled=%v, want asmSupported=%v", KernelsEnabled(), asmSupported)
+	}
+	SetAsmKernels(prev)
+}

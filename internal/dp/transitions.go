@@ -54,12 +54,19 @@ func newAccelBands(cfg *Config, ds float64, jMax int) *accelBands {
 // pair, so it is shared; the charge ζ and the motor power-limit mask depend
 // on the stage grade, so they are cached per distinct grade value — routes
 // repeat grades across stages, so most stages hit the cache.
+//
+// Each table exists in two layouts: row-major [j*(jMax+1)+j2] (the build
+// order) and transposed [j2*(jMax+1)+j]. The gather relaxation
+// (parallel.go) owns destination column j2 and scans its predecessor band
+// j = pLo[j2]..pHi[j2]; the transposed layout makes that scan a contiguous
+// structure-of-arrays read instead of a stride-(jMax+1) walk.
 type transitionCache struct {
 	veh     ev.Params
 	dv, ds  float64
 	jMax    int
 	bands   *accelBands
 	dTau    []float64 // [(jMax+1)*(jMax+1)]; filled for reachable pairs
+	dTauT   []float64 // transposed: [j2*(jMax+1)+j]
 	byGrade map[float64]*gradeTable
 }
 
@@ -67,12 +74,16 @@ type transitionCache struct {
 type gradeTable struct {
 	ok   []bool    // transition inside the motor's power envelope
 	zeta []float64 // pack charge of the transition in Ah
+	// Transposed views for the gather relaxation, [j2*(jMax+1)+j].
+	okT   []bool
+	zetaT []float64
 }
 
 func newTransitionCache(cfg *Config, ds float64, jMax int, bands *accelBands) *transitionCache {
 	c := &transitionCache{
 		veh: cfg.Vehicle, dv: cfg.DvMS, ds: ds, jMax: jMax, bands: bands,
 		dTau:    make([]float64, (jMax+1)*(jMax+1)),
+		dTauT:   make([]float64, (jMax+1)*(jMax+1)),
 		byGrade: make(map[float64]*gradeTable),
 	}
 	for j := 0; j <= jMax; j++ {
@@ -84,6 +95,7 @@ func newTransitionCache(cfg *Config, ds float64, jMax int, bands *accelBands) *t
 				continue // cannot cover Δs at zero average speed
 			}
 			c.dTau[j*(jMax+1)+j2] = ds / vAvg
+			c.dTauT[j2*(jMax+1)+j] = ds / vAvg
 		}
 	}
 	return c
@@ -95,8 +107,10 @@ func (c *transitionCache) forGrade(grade float64) *gradeTable {
 		return g
 	}
 	g := &gradeTable{
-		ok:   make([]bool, (c.jMax+1)*(c.jMax+1)),
-		zeta: make([]float64, (c.jMax+1)*(c.jMax+1)),
+		ok:    make([]bool, (c.jMax+1)*(c.jMax+1)),
+		zeta:  make([]float64, (c.jMax+1)*(c.jMax+1)),
+		okT:   make([]bool, (c.jMax+1)*(c.jMax+1)),
+		zetaT: make([]float64, (c.jMax+1)*(c.jMax+1)),
 	}
 	for j := 0; j <= c.jMax; j++ {
 		v := float64(j) * c.dv
@@ -114,6 +128,9 @@ func (c *transitionCache) forGrade(grade float64) *gradeTable {
 			}
 			g.ok[t] = true
 			g.zeta[t] = c.veh.Charge(vAvg, acc, grade, dTau)
+			tt := j2*(c.jMax+1) + j
+			g.okT[tt] = true
+			g.zetaT[tt] = g.zeta[t]
 		}
 	}
 	c.byGrade[grade] = g
