@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke bench-fleet bench-dp chaos
+.PHONY: check vet lint build test race bench bench-smoke bench-fleet bench-dp chaos chaos-cluster
 
-check: vet lint build race bench-smoke bench-fleet bench-dp chaos
+check: vet lint build race bench-smoke bench-fleet bench-dp chaos chaos-cluster
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +39,12 @@ bench-smoke:
 	$(GO) test -run - -bench . -benchtime 1x ./...
 
 # Fleet-serving smoke: drive a simulated fleet through cmd/evload against
-# an in-process server and emit the BENCH_fleet.json trajectory (latency
-# quantiles + DP-solve reuse from segment tables, DESIGN.md §11).
+# an in-process 3-node cloudd cluster and emit the BENCH_fleet.json
+# trajectory (per-node latency quantiles, DP-solve reuse from segment
+# tables, and the cluster forward/fetch/failover counters — DESIGN.md
+# §11, §13).
 bench-fleet:
-	$(GO) run ./cmd/evload -requests 96 -vehicles 12 -out BENCH_fleet.json
+	$(GO) run ./cmd/evload -requests 96 -vehicles 12 -nodes 3 -out BENCH_fleet.json
 
 # DP solver bench: time the Fig-6 queue-aware solve across the serving
 # modes (scalar, AVX2 kernels, coarse-to-fine fast path, DESIGN.md §12)
@@ -56,3 +58,11 @@ bench-dp:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Ctx|Cancel|Shed|Degrade|Graceful|Drain' \
 		./internal/cloud ./internal/dp ./cmd/cloudd
+
+# Cluster robustness smoke (DESIGN.md §13): the membership primitives
+# (ring, failure detector, breaker) plus the multi-node partition/kill
+# chaos tests and the readiness/drain lifecycle, under the race detector.
+chaos-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'Cluster|Ready|Retry' \
+		./internal/cloud ./cmd/cloudd ./cmd/evload

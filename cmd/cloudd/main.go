@@ -6,10 +6,19 @@
 //
 //	cloudd [-addr host:port] [-rate veh/h] [-deadline 30s]
 //	       [-max-inflight N] [-drain 10s] [-segment-tables=true]
+//	       [-node-id n1 -peers "n2=http://host:port,n3=..." ]
+//	       [-replicas 2] [-heartbeat-ms 500]
 //
-// On SIGINT/SIGTERM the server drains gracefully: in-flight optimizations
-// get up to -drain to finish and deliver their responses before the
-// process exits (a hard Close would abort them mid-body).
+// With -node-id and -peers the process joins a cloudd cluster
+// (DESIGN.md §13): segment-table ownership is sharded across the members
+// by consistent hashing, built tables replicate to ring successors, and
+// requests for routes another node owns are forwarded there. Readiness is
+// served on /v1/ready, distinct from the /v1/health liveness probe.
+//
+// On SIGINT/SIGTERM the server drains gracefully: readiness flips to 503
+// first (so load balancers stop routing here), then in-flight
+// optimizations get up to -drain to finish and deliver their responses
+// before the process exits (a hard Close would abort them mid-body).
 package main
 
 import (
@@ -22,12 +31,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"evvo/internal/cloud"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/units"
 )
 
 func main() {
@@ -39,36 +50,99 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		segTables   = flag.Bool("segment-tables", true, "serve from shared per-segment DP tables (DESIGN.md §11) instead of per-request full solves")
 		coarseRung  = flag.Int("coarse-ladder", 3, "degradation-ladder coarse-grid rung: velocity-grid factor for the approximate re-solve when the exact DP blows its budget (0 disables, DESIGN.md §12)")
+		nodeID      = flag.String("node-id", "", "cluster node ID (empty = standalone)")
+		peers       = flag.String("peers", "", `cluster peers as "id=http://host:port,id=url,..." (requires -node-id)`)
+		replicas    = flag.Int("replicas", 0, "table replica count per route key, owner included (0 = default 2, capped at membership)")
+		heartbeatMS = flag.Float64("heartbeat-ms", 0, "cluster heartbeat interval in milliseconds (0 = default 500)")
 	)
 	flag.Parse()
-	if err := run(*addr, *rate, *deadline, *maxInflight, *drain, *segTables, *coarseRung); err != nil {
+	p := serverParams{
+		rate: *rate, deadline: *deadline, maxInflight: *maxInflight,
+		segTables: *segTables, coarseRung: *coarseRung,
+		nodeID: *nodeID, replicas: *replicas, heartbeatMS: *heartbeatMS,
+	}
+	var err error
+	if p.peers, err = parsePeers(*peers); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudd:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *drain, p); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudd:", err)
 		os.Exit(1)
 	}
 }
 
-// buildServer constructs the cloud service with a constant default
-// arrival-rate estimate.
-func buildServer(rate float64, deadline time.Duration, maxInflight int, segTables bool, coarseRung int) (*cloud.Server, error) {
-	vin := queue.VehPerHour(rate)
-	deadlineSec := deadline.Seconds()
-	if deadline <= 0 {
-		deadlineSec = -1 // ServerConfig convention: negative disables
+// parsePeers parses the -peers flag: comma-separated id=baseURL pairs.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
 	}
-	return cloud.NewServer(cloud.ServerConfig{
-		ArrivalRate:        func(road.Control, float64) (float64, error) { return vin, nil },
-		DefaultDeadlineSec: deadlineSec,
-		MaxInFlight:        maxInflight,
-		SegmentTables:      segTables,
-		CoarseLadderFactor: coarseRung,
-	})
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, base, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || base == "" {
+			return nil, fmt.Errorf(`peer %q: want "id=http://host:port"`, pair)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q", id)
+		}
+		out[id] = base
+	}
+	return out, nil
 }
 
-func run(addr string, rate float64, deadline time.Duration, maxInflight int, drain time.Duration, segTables bool, coarseRung int) error {
-	srv, err := buildServer(rate, deadline, maxInflight, segTables, coarseRung)
+// serverParams collects the buildServer knobs (the flag surface grew past
+// a readable positional list when clustering arrived).
+type serverParams struct {
+	rate        float64
+	deadline    time.Duration
+	maxInflight int
+	segTables   bool
+	coarseRung  int
+	nodeID      string
+	peers       map[string]string
+	replicas    int
+	heartbeatMS float64
+}
+
+// buildServer constructs the cloud service with a constant default
+// arrival-rate estimate.
+func buildServer(p serverParams) (*cloud.Server, error) {
+	vin := queue.VehPerHour(p.rate)
+	deadlineSec := p.deadline.Seconds()
+	if p.deadline <= 0 {
+		deadlineSec = -1 // ServerConfig convention: negative disables
+	}
+	cfg := cloud.ServerConfig{
+		ArrivalRate:        func(road.Control, float64) (float64, error) { return vin, nil },
+		DefaultDeadlineSec: deadlineSec,
+		MaxInFlight:        p.maxInflight,
+		SegmentTables:      p.segTables,
+		CoarseLadderFactor: p.coarseRung,
+	}
+	if p.nodeID != "" {
+		cfg.Cluster = &cloud.ClusterConfig{
+			NodeID:       p.nodeID,
+			Peers:        p.peers,
+			Replicas:     p.replicas,
+			HeartbeatSec: units.MsToSec(p.heartbeatMS),
+		}
+	} else if len(p.peers) > 0 {
+		return nil, fmt.Errorf("-peers requires -node-id")
+	}
+	return cloud.NewServer(cfg)
+}
+
+func run(addr string, drain time.Duration, p serverParams) error {
+	srv, err := buildServer(p)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -81,15 +155,17 @@ func run(addr string, rate float64, deadline time.Duration, maxInflight int, dra
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 	log.Printf("cloudd: serving on http://%s (default rate %.0f veh/h, deadline %v, drain %v)",
-		ln.Addr(), rate, deadline, drain)
-	return serve(httpSrv, ln, sigCh, drain)
+		ln.Addr(), p.rate, p.deadline, drain)
+	return serve(httpSrv, ln, sigCh, drain, srv.BeginDrain)
 }
 
 // serve runs httpSrv on ln until a signal arrives, then shuts down
-// gracefully: the listener closes immediately (no new connections) while
-// in-flight requests get up to drain to complete. Only if the drain budget
+// gracefully: beginDrain flips /v1/ready to 503 *before* the listener
+// closes — readiness must fail while the node can still answer it, or load
+// balancers learn about the drain from connection errors — and in-flight
+// requests then get up to drain to complete. Only if the drain budget
 // expires are the remaining connections cut hard.
-func serve(httpSrv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration) error {
+func serve(httpSrv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, beginDrain func()) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
@@ -100,6 +176,9 @@ func serve(httpSrv *http.Server, ln net.Listener, stop <-chan os.Signal, drain t
 		return err
 	case sig := <-stop:
 		log.Printf("cloudd: %v received, draining for up to %v", sig, drain)
+		if beginDrain != nil {
+			beginDrain()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -14,7 +14,7 @@ import (
 )
 
 func TestBuildServerServes(t *testing.T) {
-	srv, err := buildServer(153, 30*time.Second, 0, true, 3)
+	srv, err := buildServer(serverParams{rate: 153, deadline: 30 * time.Second, segTables: true, coarseRung: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +38,40 @@ func TestBuildServerServes(t *testing.T) {
 }
 
 func TestBuildServerDisabledDeadline(t *testing.T) {
-	if _, err := buildServer(153, 0, -1, false, 0); err != nil {
+	if _, err := buildServer(serverParams{rate: 153, maxInflight: -1}); err != nil {
 		t.Fatalf("deadline/admission disabled: %v", err)
+	}
+}
+
+func TestBuildServerClusterValidation(t *testing.T) {
+	if _, err := buildServer(serverParams{rate: 153, peers: map[string]string{"n2": "http://x"}}); err == nil {
+		t.Fatal("-peers without -node-id accepted")
+	}
+	srv, err := buildServer(serverParams{
+		rate: 153, segTables: true,
+		nodeID: "n1", peers: map[string]string{"n2": "http://127.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("n2=http://a:1, n3=http://b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["n2"] != "http://a:1" || got["n3"] != "http://b:2" {
+		t.Fatalf("parsePeers = %v", got)
+	}
+	if m, err := parsePeers(""); err != nil || m != nil {
+		t.Fatalf("empty flag = %v, %v; want nil, nil", m, err)
+	}
+	for _, bad := range []string{"n2", "=http://a", "n2=", "n2=http://a,n2=http://b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("malformed peer list %q accepted", bad)
+		}
 	}
 }
 
@@ -63,7 +95,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	httpSrv := &http.Server{Handler: mux}
 	stop := make(chan os.Signal, 1)
 	served := make(chan error, 1)
-	go func() { served <- serve(httpSrv, ln, stop, 5*time.Second) }()
+	go func() { served <- serve(httpSrv, ln, stop, 5*time.Second, nil) }()
 
 	reqErr := make(chan error, 1)
 	gotBody := make(chan string, 1)
@@ -103,6 +135,76 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestServeDrainFlipsReadinessFirst pins the shutdown ordering: serve must
+// invoke beginDrain (which flips /v1/ready to 503) strictly before
+// httpSrv.Shutdown closes the listener, so the readiness flip is
+// observable over the network while the node still accepts connections —
+// that is the window in which a load balancer learns to route elsewhere.
+func TestServeDrainFlipsReadinessFirst(t *testing.T) {
+	srv, err := buildServer(serverParams{rate: 153, segTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	base := "http://" + ln.Addr().String()
+
+	statusOf := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s during drain window: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	drainChecked := make(chan struct{})
+	beginDrain := func() {
+		srv.BeginDrain()
+		// serve has not called Shutdown yet, so the listener still accepts:
+		// readiness must already fail while liveness still passes.
+		if got := statusOf("/v1/ready"); got != http.StatusServiceUnavailable {
+			t.Errorf("/v1/ready = %d after BeginDrain, want 503", got)
+		}
+		if got := statusOf("/v1/health"); got != http.StatusOK {
+			t.Errorf("/v1/health = %d during drain, want 200 (drain is not death)", got)
+		}
+		close(drainChecked)
+	}
+
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serve(httpSrv, ln, stop, 5*time.Second, beginDrain) }()
+
+	// Wait until the server answers, then signal.
+	for i := 0; ; i++ {
+		if resp, err := http.Get(base + "/v1/ready"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if i > 100 {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop <- syscall.SIGTERM
+	<-drainChecked
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after signal")
+	}
+}
+
 // TestServeDrainBudgetExpires: a handler that outlives the drain budget is
 // cut off, but serve still returns (no hang).
 func TestServeDrainBudgetExpires(t *testing.T) {
@@ -124,7 +226,7 @@ func TestServeDrainBudgetExpires(t *testing.T) {
 	httpSrv := &http.Server{Handler: mux}
 	stop := make(chan os.Signal, 1)
 	served := make(chan error, 1)
-	go func() { served <- serve(httpSrv, ln, stop, 50*time.Millisecond) }()
+	go func() { served <- serve(httpSrv, ln, stop, 50*time.Millisecond, nil) }()
 
 	go func() {
 		resp, err := http.Get("http://" + ln.Addr().String() + "/stuck")

@@ -67,6 +67,70 @@ func TestSingleMode(t *testing.T) {
 	}
 }
 
+// TestClusterMode boots the 3-node in-process cluster and checks the
+// multi-node report: every request answered, every member reported with
+// its cluster counters, and the segment-table sharding visible — exactly
+// one member builds the route's tables while the others serve via replica
+// push or forwarding.
+func TestClusterMode(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Nodes = 3
+	cfg.Batch = 0
+	cfg.Requests = 24
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d of %d requests failed", rep.Failed, rep.Requests)
+	}
+	if len(rep.Nodes) != 3 {
+		t.Fatalf("report covers %d nodes, want 3", len(rep.Nodes))
+	}
+	builders, served := 0, 0
+	for _, n := range rep.Nodes {
+		if n.NodeID == "" {
+			t.Fatal("node report missing NodeID")
+		}
+		if n.Requests == 0 || n.LatencyMs.Count != int64(n.Requests) {
+			t.Fatalf("node %s: %d requests but %d latency samples (round-robin should load every member)",
+				n.NodeID, n.Requests, n.LatencyMs.Count)
+		}
+		if n.Server.Cluster == nil {
+			t.Fatalf("node %s report has no cluster counters", n.NodeID)
+		}
+		if !n.Server.Cluster.Ready {
+			t.Fatalf("node %s served load while not ready", n.NodeID)
+		}
+		if n.Server.DPSegmentSolves > 0 {
+			builders++
+		}
+		served += int(n.Server.StitchedServes)
+	}
+	if builders != 1 {
+		t.Fatalf("%d members built segment tables, want exactly 1 owner (sharding broken)", builders)
+	}
+	if served < rep.Requests-int(rep.Server.CacheHits) {
+		t.Fatalf("stitched serves %d < non-cached requests", served)
+	}
+	// The aggregate view must equal the sum of the members.
+	if rep.Server.DPSegmentSolves == 0 || rep.ReuseFactor < 2 {
+		t.Fatalf("cluster reuse factor %.2f (solves %d) — tables not shared across members",
+			rep.ReuseFactor, rep.Server.DPSegmentSolves)
+	}
+}
+
+// TestClusterModeRejectsExternalAddr: -nodes only applies to the
+// in-process server.
+func TestClusterModeRejectsExternalAddr(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Nodes = 3
+	cfg.Addr = "http://127.0.0.1:1"
+	if _, err := run(context.Background(), cfg); err == nil {
+		t.Fatal("-nodes with -addr accepted")
+	}
+}
+
 // TestConfigValidation rejects nonsense before any load is generated.
 func TestConfigValidation(t *testing.T) {
 	for _, cfg := range []loadConfig{

@@ -30,6 +30,13 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps a single sleep (default 2 s).
 	MaxBackoff time.Duration
+	// Jitter optionally supplies the backoff's randomness (e.g.
+	// rand.NewSource(42) for reproducible tests). Nil uses a process-wide
+	// source seeded once at startup — NOT one source per client, which
+	// under a fleet of clients created in the same nanosecond would
+	// produce identical jitter sequences and synchronized retry storms,
+	// the exact thundering herd the jitter exists to break up.
+	Jitter rand.Source
 }
 
 func (p *RetryPolicy) applyDefaults() {
@@ -74,7 +81,7 @@ type Client struct {
 	deadlineHint time.Duration
 
 	mu  sync.Mutex
-	rng *rand.Rand // jitter source, guarded by mu
+	rng *rand.Rand // per-client jitter source when RetryPolicy.Jitter is set, guarded by mu; nil = shared jitterRNG
 }
 
 // NewClient returns a client for a base URL like "http://127.0.0.1:8080".
@@ -85,14 +92,24 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	c := &Client{
 		base: baseURL,
 		http: &http.Client{Timeout: 30 * time.Second},
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	c.retry.applyDefaults()
+	if c.retry.Jitter != nil {
+		c.rng = rand.New(c.retry.Jitter)
+	}
 	return c, nil
 }
+
+// jitterRNG is the process-wide backoff jitter source shared by clients
+// that did not supply RetryPolicy.Jitter. Seeded once, so every client
+// draws from one stream instead of each re-seeding from the clock.
+var (
+	jitterMu  sync.Mutex
+	jitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
 
 // APIError is a non-2xx response from the cloud.
 type APIError struct {
@@ -108,11 +125,17 @@ func (e *APIError) Error() string {
 }
 
 // retryableStatus reports whether a status code may be retried: 429 is
-// admission-control shedding, 503 a transient failure; both arrive with
-// Retry-After. Anything else (400s, 422, 500) would fail identically on
-// retry.
+// admission-control shedding, 503 a transient failure (both arrive with
+// Retry-After), and 502/504 surface from a forwarding hop whose upstream
+// peer is dying or partitioned — the next attempt may be routed around
+// it. Anything else (400s, 422, 500) would fail identically on retry.
 func retryableStatus(code int) bool {
-	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // backoff returns the sleep before attempt n (0-based), full jitter,
@@ -122,9 +145,16 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	if ceil > c.retry.MaxBackoff || ceil <= 0 {
 		ceil = c.retry.MaxBackoff
 	}
-	c.mu.Lock()
-	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
-	c.mu.Unlock()
+	var d time.Duration
+	if c.rng != nil {
+		c.mu.Lock()
+		d = time.Duration(c.rng.Int63n(int64(ceil) + 1))
+		c.mu.Unlock()
+	} else {
+		jitterMu.Lock()
+		d = time.Duration(jitterRNG.Int63n(int64(ceil) + 1))
+		jitterMu.Unlock()
+	}
 	if d < retryAfter {
 		d = retryAfter
 	}
@@ -134,6 +164,12 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 // do performs one HTTP exchange with retries and decodes a 200 into out.
 // body == nil issues a GET, otherwise a POST of the JSON body.
 func (c *Client) do(ctx context.Context, path string, body []byte, out any) error {
+	return c.doHeaders(ctx, path, body, nil, out)
+}
+
+// doHeaders is do with extra request headers, used by cluster forwarding
+// to carry the X-Forwarded-By loop-guard chain.
+func (c *Client) doHeaders(ctx context.Context, path string, body []byte, extra http.Header, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -163,6 +199,9 @@ func (c *Client) do(ctx context.Context, path string, body []byte, out any) erro
 		}
 		if c.deadlineHint > 0 {
 			req.Header.Set(DeadlineHeader, strconv.FormatInt(c.deadlineHint.Milliseconds(), 10))
+		}
+		for k, vs := range extra {
+			req.Header[k] = vs
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {

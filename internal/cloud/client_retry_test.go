@@ -1,0 +1,113 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryJitterSeededDeterministic: RetryPolicy.Jitter makes the backoff
+// sequence reproducible — two clients with the same seed draw identical
+// sleeps, a differently seeded client draws a different sequence, and an
+// unseeded client leaves c.rng nil (it shares the process-wide source
+// instead of re-seeding per client).
+func TestRetryJitterSeededDeterministic(t *testing.T) {
+	mk := func(seed int64) *Client {
+		c, err := NewClient("http://127.0.0.1:1", WithRetryPolicy(RetryPolicy{
+			Jitter: rand.NewSource(seed),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b, other := mk(42), mk(42), mk(43)
+	differs := false
+	for attempt := 0; attempt < 8; attempt++ {
+		da, db := a.backoff(attempt%4, 0), b.backoff(attempt%4, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed drew %v vs %v", attempt, da, db)
+		}
+		if da != other.backoff(attempt%4, 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical 8-draw backoff sequences")
+	}
+
+	unseeded, err := NewClient("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unseeded.rng != nil {
+		t.Fatal("client without RetryPolicy.Jitter built a per-client RNG; it must share the process-wide source")
+	}
+	// Retry-After still floors a seeded draw.
+	if got := a.backoff(0, 5*time.Second); got < 5*time.Second {
+		t.Fatalf("backoff %v ignored the 5 s Retry-After floor", got)
+	}
+}
+
+// TestRetryOn502And504 is the regression test for the retryable-status set:
+// 502 and 504 surface from a dying or partitioned forwarding hop, so the
+// next attempt may be routed around it — both must be retried to success.
+// A 500 stays terminal: it would fail identically on every attempt.
+func TestRetryOn502And504(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		switch n := calls.Add(1); {
+		case n < 0 || n == 1: // negative: the exhaustion phase below, all 502
+			http.Error(w, `{"error":"upstream peer dying"}`, http.StatusBadGateway)
+		case n == 2:
+			http.Error(w, `{"error":"upstream peer partitioned"}`, http.StatusGatewayTimeout)
+		default:
+			w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer ts.Close()
+	c, err := NewClient(ts.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		Jitter: rand.NewSource(1),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("502 then 504 then 200 must succeed through retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (502 and 504 each retried once)", got)
+	}
+
+	// MaxAttempts exhausts: the last retryable error is returned.
+	calls.Store(-100) // stay in the 502/504 branch for all attempts
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("persistent 5xx gateway errors must eventually surface")
+	}
+
+	// 500 is not retryable: exactly one attempt, APIError returned.
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"deterministic bug"}`, http.StatusInternalServerError)
+	}))
+	defer fail.Close()
+	fc, err := NewClient(fail.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls.Store(0)
+	err = fc.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("want APIError 500, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("500 was attempted %d times, want 1 (not retryable)", got)
+	}
+}

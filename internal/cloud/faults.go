@@ -27,6 +27,19 @@ type Faults struct {
 	// inside the handler chain (within the recovery middleware's scope),
 	// exercising panic-to-500 conversion.
 	Panic func(path string) bool
+
+	// PeerDelay, when non-nil, returns an artificial delay inserted before
+	// each cluster exchange from this node to peer `to` (heartbeats, table
+	// fetches, replication pushes and forwards alike). The sleep is
+	// context-aware. Use it to simulate a slow or congested link — e.g. to
+	// force hedged fetches.
+	PeerDelay func(to string) time.Duration
+
+	// PeerDrop, when non-nil and returning true for peer `to`, fails the
+	// exchange at the connection level before it leaves this node. Because
+	// the hook runs on the sending side only, dropping A→B while leaving
+	// B→A intact produces a genuinely asymmetric partition.
+	PeerDrop func(to string) bool
 }
 
 // sleepCtx sleeps for d or until done closes, whichever comes first, and

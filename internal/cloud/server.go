@@ -34,9 +34,11 @@ package cloud
 
 import (
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -137,6 +139,11 @@ type Response struct {
 	// approximate-DP fast path (the coarse-grid ladder rung, or a
 	// DPTemplate with CoarseRefine configured) rather than the exact DP.
 	Refined bool `json:"refined,omitempty"`
+	// ServedBy names the cluster node that computed this response (empty
+	// on standalone servers). On a forwarded request it names the owner
+	// that answered, not the node the client dialed — which is how tests
+	// and operators observe forwarding and failover.
+	ServedBy string `json:"servedBy,omitempty"`
 }
 
 // Stats are service counters.
@@ -166,6 +173,8 @@ type Stats struct {
 	BatchItems int64 `json:"batchItems"`
 	// LatencyMs summarizes compute-endpoint latency (admitted requests).
 	LatencyMs LatencyStats `json:"latencyMs"`
+	// Cluster reports the cluster runtime's counters (nil standalone).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // LatencyStats are histogram-derived latency quantiles in milliseconds.
@@ -245,6 +254,14 @@ type ServerConfig struct {
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
 
+	// Cluster, when non-nil, joins this server to a cloudd cluster:
+	// segment-table ownership is sharded across the members by consistent
+	// hashing, built tables are replicated to ring successors, requests for
+	// routes this node does not own are forwarded to the acting owner, and
+	// peer death triggers automatic ownership takeover (DESIGN.md §13).
+	// Requires SegmentTables — the tables are the unit of sharding.
+	Cluster *ClusterConfig
+
 	// Faults injects deterministic failures for chaos tests (see faults.go).
 	Faults Faults
 }
@@ -268,6 +285,12 @@ type Server struct {
 
 	sem    chan struct{} // admission slots; nil = admission disabled
 	queued atomic.Int64  // requests waiting for a slot
+
+	// peers is the cluster runtime (nil when Cluster is unset); draining
+	// flips /v1/ready to 503 ahead of the HTTP shutdown so load balancers
+	// stop routing here while in-flight requests finish.
+	peers    *peerGroup
+	draining atomic.Bool
 
 	requests, cacheHits, errs      metrics.Counter
 	shed, panics, retryAfterIssued metrics.Counter
@@ -397,7 +420,90 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if err := s.startCluster(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// startCluster brings up the cluster runtime when configured: ring,
+// detector, peer links, the heartbeat loop, and the boot warm-up that
+// gates /v1/ready. It runs from NewServer, before any request exists, so
+// the cluster lifetime is anchored to the server, not to a request.
+func (s *Server) startCluster() error {
+	if s.cfg.Cluster == nil {
+		return nil
+	}
+	if !s.cfg.SegmentTables {
+		return fmt.Errorf("cloud: cluster mode requires SegmentTables — the shared tables are the unit of sharding")
+	}
+	if err := s.cfg.Cluster.normalize(); err != nil {
+		return err
+	}
+	pg, err := newPeerGroup(*s.cfg.Cluster, &s.cfg.Faults)
+	if err != nil {
+		return err
+	}
+	s.peers = pg
+	pg.wg.Add(2)
+	go pg.heartbeatLoop()
+	go func() {
+		defer pg.wg.Done()
+		defer close(pg.ready)
+		select {
+		case <-pg.primed:
+		case <-pg.ctx.Done():
+			return
+		}
+		for _, name := range pg.cfg.WarmRoutes {
+			route, ok := s.lookupRoute(name)
+			if !ok {
+				continue
+			}
+			if owner, _ := pg.actingOwner(name, time.Now()); owner != pg.self {
+				continue
+			}
+			wctx, cancel := context.WithTimeout(pg.ctx, secToDur(s.cfg.DefaultDeadlineSec))
+			_, _ = s.routeTables(wctx, name, s.tableCfg(route))
+			cancel()
+		}
+	}()
+	return nil
+}
+
+// Close stops the cluster runtime (heartbeats, replication pushes) and
+// waits for its goroutines. Safe on servers without a cluster and safe to
+// call more than once.
+func (s *Server) Close() {
+	if s.peers != nil {
+		s.peers.close()
+	}
+}
+
+// BeginDrain flips /v1/ready to 503 while /v1/health stays 200: the node
+// is still alive — and keeps serving whatever arrives — but asks load
+// balancers and peers to stop sending new work. Call it before the HTTP
+// server's graceful Shutdown so the readiness flip precedes connection
+// draining.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// tableCfg is the DP config a route's segment tables are built (and
+// imported) under: the server template pinned to the route and vehicle.
+// Windows and departure time are per-request stitch inputs — they do not
+// shape the tables — so peers converge on identical table grids no matter
+// which request triggered the build.
+func (s *Server) tableCfg(route *road.Route) dp.Config {
+	cfg := s.cfg.DPTemplate
+	cfg.Route = route
+	cfg.Vehicle = s.cfg.Vehicle
+	cfg.DepartTime = 0
+	cfg.Windows = nil
+	if cfg.MaxTripSec == 0 {
+		cfg.MaxTripSec = 600
+	}
+	return cfg
 }
 
 // RegisterRoute adds a named route.
@@ -425,8 +531,11 @@ func (s *Server) RegisterRoute(name string, r *road.Route) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/ready", s.handleReady)
 	mux.HandleFunc("GET /v1/routes", s.handleRoutes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/tables/{routeKey}", s.handleTablesGet)
+	mux.HandleFunc("PUT /v1/tables/{routeKey}", s.handleTablesPut)
 	mux.Handle("POST /v1/optimize", s.admit(s.withLatency(http.HandlerFunc(s.handleOptimize))))
 	mux.Handle("POST /v1/advise", s.admit(s.withLatency(http.HandlerFunc(s.handleAdvise))))
 	mux.Handle("POST /v1/optimize/batch", s.admit(s.withLatency(http.HandlerFunc(s.handleBatch))))
@@ -446,6 +555,97 @@ func (s *Server) withLatency(next http.Handler) http.Handler {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady serves GET /v1/ready — readiness, distinct from liveness:
+// a draining or still-joining node answers 503 here while /v1/health stays
+// 200, so orchestrators keep the process but route traffic elsewhere.
+// Standalone servers (no cluster) are ready whenever they are not
+// draining.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if pg := s.peers; pg != nil && !pg.clusterReady() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "joining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleTablesGet serves GET /v1/tables/{routeKey}: the route's segment
+// tables in gob wire form, for peer fetches. A node only serves (and
+// builds on demand) tables for keys it currently acts as owner of —
+// otherwise two cold non-owners could ping-pong fetches between them.
+func (s *Server) handleTablesGet(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.SegmentTables {
+		s.fail(w, http.StatusNotFound, "segment tables disabled on this node")
+		return
+	}
+	name := r.PathValue("routeKey")
+	route, ok := s.lookupRoute(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown route %q", name))
+		return
+	}
+	s.mu.Lock()
+	rt := s.segTables[name]
+	s.mu.Unlock()
+	if rt == nil {
+		if pg := s.peers; pg != nil {
+			if owner, _ := pg.actingOwner(name, time.Now()); owner != pg.self {
+				s.fail(w, http.StatusNotFound, fmt.Sprintf("node %s does not own tables for %q", pg.self, name))
+				return
+			}
+		}
+		var err error
+		rt, err = s.routeTables(r.Context(), name, s.tableCfg(route))
+		if err != nil {
+			s.optimizeError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// Encoding errors past the first byte cannot be reported; the reader's
+	// gob decoder surfaces the truncation.
+	_ = gob.NewEncoder(w).Encode(rt.Export())
+}
+
+// handleTablesPut serves PUT /v1/tables/{routeKey}: the replication
+// receive path. The payload is imported — fingerprint-verified against
+// this node's own route and grid config — and stored only if the route's
+// tables are not already warm; an import failure is the sender's problem,
+// never this node's, so it answers 422 and keeps serving.
+func (s *Server) handleTablesPut(w http.ResponseWriter, r *http.Request) {
+	pg := s.peers
+	if pg == nil || !s.cfg.SegmentTables {
+		s.fail(w, http.StatusNotFound, "not a cluster node")
+		return
+	}
+	name := r.PathValue("routeKey")
+	route, ok := s.lookupRoute(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown route %q", name))
+		return
+	}
+	var wire dp.TablesWire
+	if err := gob.NewDecoder(io.LimitReader(r.Body, pg.cfg.MaxTableBytes)).Decode(&wire); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decoding replicated tables: %v", err))
+		return
+	}
+	rt, err := dp.ImportRouteTables(s.tableCfg(route), &wire)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.mu.Lock()
+	if _, warm := s.segTables[name]; !warm {
+		s.segTables[name] = rt
+	}
+	s.mu.Unlock()
+	pg.replRecv.Inc()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
 }
 
 func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
@@ -479,6 +679,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			P95:   s.latency.Quantile(0.95),
 			P99:   s.latency.Quantile(0.99),
 		},
+		Cluster: s.clusterStats(),
 	})
 }
 
@@ -548,9 +749,25 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cluster mode: a route this node neither owns nor has warm tables for
+	// is forwarded to its acting owner; any forwarding trouble (loop guard,
+	// open breaker, owner unreachable) falls through to local serving.
+	if fwd := s.forwardOptimize(r.Context(), req, r.Header.Get(ForwardedByHeader)); fwd != nil {
+		writeJSON(w, http.StatusOK, fwd)
+		return
+	}
+
 	resp, err := s.optimizeCached(r.Context(), route, req)
 	if err != nil {
 		s.optimizeError(w, err)
+		return
+	}
+	if pg := s.peers; pg != nil {
+		// Annotate a copy: resp may alias a cache entry shared with
+		// concurrent readers.
+		out := *resp
+		out.ServedBy = pg.self
+		writeJSON(w, http.StatusOK, &out)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -916,13 +1133,12 @@ func (s *Server) routeTables(ctx context.Context, name string, cfg dp.Config) (*
 		s.tableBuilds[name] = c
 		s.mu.Unlock()
 
-		rt, err := dp.BuildRouteTables(ctx, cfg)
+		rt, err := s.acquireTables(ctx, name, cfg)
 		c.rt, c.err = rt, err
 		s.mu.Lock()
 		delete(s.tableBuilds, name)
 		if err == nil {
 			s.segTables[name] = rt
-			s.dpSegmentSolves.Add(int64(rt.SegmentSolves()))
 		}
 		s.mu.Unlock()
 		close(c.done)

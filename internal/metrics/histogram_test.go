@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestHistogramValidation(t *testing.T) {
@@ -90,5 +91,103 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 	if h.Quantile(0.5) <= 0 {
 		t.Fatal("median should be positive")
+	}
+}
+
+// TestHistogramZeroAndSingleObservation pins the two degenerate sizes the
+// quantile interpolation must survive: no data (every accessor returns 0,
+// never NaN) and one observation (every quantile lands inside that
+// observation's bucket).
+func TestHistogramZeroAndSingleObservation(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 || math.IsNaN(got) {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram mean/sum/count = %g/%g/%d, want zeros", h.Mean(), h.Sum(), h.Count())
+	}
+
+	const v = 5.0
+	h.Observe(v)
+	if h.Count() != 1 || h.Mean() != v || h.Sum() != v {
+		t.Fatalf("single observation count/mean/sum = %d/%g/%g", h.Count(), h.Mean(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("single observation Quantile(%g) = %g", q, got)
+		}
+		// One observation fills exactly one bucket; interpolation must not
+		// escape it (bucket width ~23% around v for the latency preset).
+		if got > v*1.25 {
+			t.Fatalf("Quantile(%g) = %g escaped the observation's bucket (v = %g)", q, got, v)
+		}
+	}
+	if h.Quantile(1) < h.Quantile(0) {
+		t.Fatal("quantiles not monotone over a single observation")
+	}
+}
+
+// TestHistogramConcurrentObserveVsQuantile runs readers (Quantile, Mean,
+// Count) against concurrent writers under -race: snapshots taken mid-write
+// must be finite and non-negative, never torn into NaN or a negative rank.
+func TestHistogramConcurrentObserveVsQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	const writers, per, readers = 4, 2000, 4
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range []float64{0.5, 0.95, 0.99} {
+					if got := h.Quantile(q); math.IsNaN(got) || got < 0 {
+						t.Errorf("Quantile(%g) = %g during concurrent writes", q, got)
+						return
+					}
+				}
+				if m := h.Mean(); math.IsNaN(m) || m < 0 {
+					t.Errorf("Mean() = %g during concurrent writes", m)
+					return
+				}
+				if h.Count() < 0 {
+					t.Error("Count() went negative")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) / 50)
+			}
+		}(w)
+	}
+	// Writers finish, then readers are released; the final state must be
+	// exact despite the interleaving.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for observed := int64(0); observed < writers*per; observed = h.Count() {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+	want := float64(writers*per-1) * float64(writers*per) / 2 / 50
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
 	}
 }
