@@ -13,12 +13,15 @@ check: vet lint build race bench-smoke bench-fleet bench-dp chaos chaos-cluster
 vet:
 	$(GO) vet ./...
 
-# Custom static-analysis suite (internal/lint via cmd/evlint): context
-# plumbing on the request path, unit-suffix hygiene, float equality,
-# atomicity of shared counters. Exits non-zero on any unwaived finding;
-# //lint:allow waivers are summarized on stderr.
+# Custom static-analysis suite (internal/lint via cmd/evlint), eight
+# analyzers: context plumbing on the request path, unit-suffix hygiene,
+# float equality, atomicity of shared counters, plus the flow-aware
+# determinism/concurrency layer (detcheck, lockheld, goleak, errflow —
+# DESIGN.md §14). Exits non-zero on any unwaived finding; //lint:allow
+# waivers are summarized on stderr. -max-wall keeps the suite honest
+# about its own latency budget (exit 3 on breach).
 lint:
-	$(GO) run ./cmd/evlint ./...
+	$(GO) run ./cmd/evlint -max-wall 180s ./...
 
 build:
 	$(GO) build ./...

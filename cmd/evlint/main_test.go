@@ -1,24 +1,30 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
-// TestList: -list prints every analyzer with a one-line doc.
+// TestList: -list prints every analyzer with a one-line doc, including
+// the four flow-aware determinism/concurrency analyzers.
 func TestList(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("evlint -list = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"ctxcheck", "unitcheck", "floateq", "atomiccounter"} {
+	for _, name := range []string{
+		"ctxcheck", "unitcheck", "floateq", "atomiccounter",
+		"detcheck", "lockheld", "goleak", "errflow",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("evlint -list output missing %q:\n%s", name, out.String())
 		}
 	}
 }
 
-// TestUnknownAnalyzer: a bad -run name is a usage error, not a crash.
+// TestUnknownAnalyzer: a bad -run name is a usage error that lists the
+// valid names, so the fix is visible from the failure itself.
 func TestUnknownAnalyzer(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-run", "nosuch"}, &out, &errb); code != 2 {
@@ -27,13 +33,64 @@ func TestUnknownAnalyzer(t *testing.T) {
 	if !strings.Contains(errb.String(), "unknown analyzer") {
 		t.Errorf("stderr = %q, want unknown-analyzer message", errb.String())
 	}
+	for _, name := range []string{"ctxcheck", "detcheck", "lockheld", "goleak", "errflow"} {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("stderr missing valid analyzer name %q:\n%s", name, errb.String())
+		}
+	}
 }
 
 // TestSelfClean: evlint linting its own package must exit 0 — the suite
-// eats its own dog food.
+// eats its own dog food — and always print the count summary line.
 func TestSelfClean(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"."}, &out, &errb); code != 0 {
 		t.Fatalf("evlint over cmd/evlint = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "0 active finding(s)") {
+		t.Errorf("stderr missing summary line:\n%s", errb.String())
+	}
+}
+
+// TestJSONReport: -json writes one machine-readable document to stdout
+// with counts and per-finding positions; the summary stays on stderr so
+// the JSON is parseable as-is.
+func TestJSONReport(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "."}, &out, &errb); code != 0 {
+		t.Fatalf("evlint -json = %d\nstderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Active   int `json:"active"`
+		Waived   int `json:"waived"`
+		Packages int `json:"packages"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Waived   bool   `json:"waived"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Active != 0 || rep.Packages != 1 {
+		t.Errorf("report = active %d, packages %d; want 0 active over 1 package", rep.Active, rep.Packages)
+	}
+	if len(rep.Findings) != rep.Active+rep.Waived {
+		t.Errorf("findings list has %d entries, counts say %d", len(rep.Findings), rep.Active+rep.Waived)
+	}
+}
+
+// TestMaxWallBreached: an otherwise-clean run that overshoots the
+// -max-wall budget exits 3 and says so. 1ns cannot be met, so this
+// pins the breach path without a slow analyzer.
+func TestMaxWallBreached(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-max-wall", "1ns", "."}, &out, &errb); code != 3 {
+		t.Fatalf("evlint -max-wall 1ns = %d, want 3\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "max-wall") {
+		t.Errorf("stderr missing max-wall breach message:\n%s", errb.String())
 	}
 }

@@ -382,7 +382,7 @@ func startCluster(cfg loadConfig) (urls []string, cleanup func(), err error) {
 		for {
 			resp, rerr := http.Get(ts.URL + "/v1/ready")
 			if rerr == nil {
-				resp.Body.Close()
+				_ = resp.Body.Close() // readiness poll: only the status matters
 				if resp.StatusCode == http.StatusOK {
 					break
 				}

@@ -27,7 +27,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +34,7 @@ import (
 	"evvo/internal/cluster"
 	"evvo/internal/dp"
 	"evvo/internal/metrics"
+	"evvo/internal/stable"
 	"evvo/internal/units"
 )
 
@@ -229,20 +229,14 @@ func (t *peerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 // newPeerGroup builds the cluster runtime. faults points at the server's
 // fault config so chaos hooks installed there reach the peer transports.
 func newPeerGroup(cfg ClusterConfig, faults *Faults) (*peerGroup, error) {
+	peerIDs := stable.SortedKeys(cfg.Peers)
 	members := make([]string, 0, len(cfg.Peers)+1)
 	members = append(members, cfg.NodeID)
-	for id := range cfg.Peers {
-		members = append(members, id)
-	}
+	members = append(members, peerIDs...)
 	ring, err := cluster.Build(members, cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
 	}
-	peerIDs := make([]string, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		peerIDs = append(peerIDs, id)
-	}
-	sort.Strings(peerIDs)
 	det, err := cluster.NewDetector(peerIDs, secToDur(cfg.SuspectAfterSec), secToDur(cfg.DeadAfterSec), time.Now())
 	if err != nil {
 		return nil, err
@@ -322,7 +316,7 @@ func (pg *peerGroup) sweep() {
 			if err != nil {
 				return
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close() // health probe: only the status matters
 			if resp.StatusCode == http.StatusOK {
 				pg.det.Observe(pl.id, time.Now())
 			}
@@ -510,7 +504,7 @@ func (pg *peerGroup) replicate(key string, rt *dp.RouteTables) {
 			if err != nil {
 				return
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close() // push delivered; the status is the receipt
 			if resp.StatusCode == http.StatusOK {
 				pg.replPushed.Inc()
 			}

@@ -42,7 +42,6 @@ import (
 	"math"
 	"net/http"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +54,7 @@ import (
 	"evvo/internal/profile"
 	"evvo/internal/queue"
 	"evvo/internal/road"
+	"evvo/internal/stable"
 	"evvo/internal/units"
 )
 
@@ -650,12 +650,8 @@ func (s *Server) handleTablesPut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRoutes(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	names := make([]string, 0, len(s.routes))
-	for name := range s.routes {
-		names = append(names, name)
-	}
+	names := stable.SortedKeys(s.routes)
 	s.mu.Unlock()
-	sort.Strings(names)
 	writeJSON(w, http.StatusOK, map[string][]string{"routes": names})
 }
 

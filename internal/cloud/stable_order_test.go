@@ -1,0 +1,98 @@
+package cloud
+
+// Regression tests for the determinism fixes flagged by the detcheck
+// analyzer (see DESIGN.md §14): wire-visible listings and cluster
+// membership must not inherit Go's randomized map iteration order.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"evvo/internal/road"
+)
+
+// TestRoutesEndpointSorted pins the /v1/routes fix: route names are
+// reported sorted regardless of registration order, so the listing is
+// bit-identical across processes and restarts.
+func TestRoutesEndpointSorted(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		r, err := road.NewRoute(road.RouteConfig{LengthM: 900, DefaultMaxMS: 15})
+		if err != nil {
+			t.Fatalf("route %s: %v", name, err)
+		}
+		if err := s.RegisterRoute(name, r); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/routes")
+	if err != nil {
+		t.Fatalf("GET /v1/routes: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Routes []string `json:"routes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// newTestServer pre-registers "us25"; it slots in sorted with the rest.
+	want := []string{"alpha", "beta", "mid", "us25", "zeta"}
+	if len(body.Routes) != len(want) {
+		t.Fatalf("routes = %v, want %v", body.Routes, want)
+	}
+	for i, name := range want {
+		if body.Routes[i] != name {
+			t.Fatalf("routes = %v, want sorted %v", body.Routes, want)
+		}
+	}
+}
+
+// TestPeerGroupDeterministicOrder pins the newPeerGroup fix: the peer
+// walk order and the ring membership are derived from sorted peer IDs,
+// not from map iteration, so replica ownership is identical on every
+// node and every boot.
+func TestPeerGroupDeterministicOrder(t *testing.T) {
+	cfg := ClusterConfig{
+		NodeID: "n1",
+		Peers: map[string]string{
+			"n9": "http://n9", "n3": "http://n3",
+			"n7": "http://n7", "n2": "http://n2",
+		},
+	}
+	if err := cfg.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	wantOrder := []string{"n2", "n3", "n7", "n9"}
+
+	var firstOwners []string
+	for run := 0; run < 3; run++ {
+		pg, err := newPeerGroup(cfg, &Faults{})
+		if err != nil {
+			t.Fatalf("newPeerGroup: %v", err)
+		}
+		if len(pg.order) != len(wantOrder) {
+			t.Fatalf("order = %v, want %v", pg.order, wantOrder)
+		}
+		for i, id := range wantOrder {
+			if pg.order[i] != id {
+				t.Fatalf("order = %v, want sorted %v", pg.order, wantOrder)
+			}
+		}
+		owners := pg.ring.Successors("route-a", 3)
+		if run == 0 {
+			firstOwners = owners
+			continue
+		}
+		if len(owners) != len(firstOwners) {
+			t.Fatalf("run %d owners = %v, first run %v", run, owners, firstOwners)
+		}
+		for i := range owners {
+			if owners[i] != firstOwners[i] {
+				t.Fatalf("run %d owners = %v, first run %v", run, owners, firstOwners)
+			}
+		}
+		pg.cancel()
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"evvo/internal/stable"
 )
 
 // State grades a peer's health as seen by the local failure detector.
@@ -107,10 +109,7 @@ func (d *Detector) State(peer string, now time.Time) State {
 // Counts tallies peers by state at now.
 func (d *Detector) Counts(now time.Time) (alive, suspect, dead int) {
 	d.mu.Lock()
-	peers := make([]string, 0, len(d.lastOK))
-	for p := range d.lastOK {
-		peers = append(peers, p)
-	}
+	peers := stable.SortedKeys(d.lastOK)
 	d.mu.Unlock()
 	for _, p := range peers {
 		switch d.State(p, now) {

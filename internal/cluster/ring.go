@@ -127,7 +127,7 @@ func (r *Ring) search(key string) int {
 
 func hashKey(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write is documented never to fail
 	return mix64(h.Sum64())
 }
 

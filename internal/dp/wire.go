@@ -185,7 +185,7 @@ func ImportRouteTables(cfg Config, w *TablesWire) (*RouteTables, error) {
 // routes and DP templates would build interchangeable tables.
 func fingerprintTables(cfg *Config, g dpGrid, stages []stageInfo) uint64 {
 	h := fnv.New64a()
-	put := func(vals ...any) { fmt.Fprintln(h, vals...) }
+	put := func(vals ...any) { _, _ = fmt.Fprintln(h, vals...) } // hash.Hash.Write never fails
 	put("grid", g.n, math.Float64bits(g.ds), g.jMax, g.kMax)
 	put("cfg", math.Float64bits(cfg.DsM), math.Float64bits(cfg.DvMS), math.Float64bits(cfg.DtSec),
 		math.Float64bits(cfg.MaxTripSec), math.Float64bits(cfg.AccelMaxMS2), math.Float64bits(cfg.DecelMaxMS2),

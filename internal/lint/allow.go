@@ -10,6 +10,10 @@ import (
 // suppresses findings of the named analyzer on its own line and on the
 // line directly below (so the pragma can sit above the offending
 // statement, like a //nolint directive).
+//
+// A pragma without a reason is deliberately inert: waivers document WHY
+// or they do not waive. The underlying finding then stays active, so a
+// forgotten reason surfaces in CI instead of silently suppressing.
 type allowPragma struct {
 	file     string
 	line     int
@@ -22,18 +26,29 @@ type allowSet map[string][]allowPragma
 
 const allowPrefix = "//lint:allow"
 
-// parseAllow parses a single comment into a pragma, if it is one.
-func parseAllow(c *ast.Comment) (analyzer, reason string, ok bool) {
+// parseAllows parses every //lint:allow pragma in a single comment. The
+// comment must START with the pragma (prose that merely mentions the
+// syntax stays inert), but one comment may then carry several
+// ("//lint:allow floateq r1 //lint:allow unitcheck r2"); each pragma's
+// reason runs to the start of the next. Pragmas with an empty analyzer
+// name or an empty reason are dropped.
+func parseAllows(c *ast.Comment) []allowPragma {
 	text := c.Text
 	if !strings.HasPrefix(text, allowPrefix) {
-		return "", "", false
+		return nil
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-	name, reason, _ := strings.Cut(rest, " ")
-	if name == "" {
-		return "", "", false
+	var out []allowPragma
+	parts := strings.Split(text, allowPrefix)
+	for _, part := range parts[1:] {
+		rest := strings.TrimSpace(part)
+		name, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if name == "" || reason == "" {
+			continue
+		}
+		out = append(out, allowPragma{analyzer: name, reason: reason})
 	}
-	return name, strings.TrimSpace(reason), true
+	return out
 }
 
 // collectAllows gathers every //lint:allow pragma in the package.
@@ -42,17 +57,15 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, reason, ok := parseAllow(c)
-				if !ok {
+				pragmas := parseAllows(c)
+				if len(pragmas) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				set[pos.Filename] = append(set[pos.Filename], allowPragma{
-					file:     pos.Filename,
-					line:     pos.Line,
-					analyzer: name,
-					reason:   reason,
-				})
+				for _, p := range pragmas {
+					p.file, p.line = pos.Filename, pos.Line
+					set[pos.Filename] = append(set[pos.Filename], p)
+				}
 			}
 		}
 	}

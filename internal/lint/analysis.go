@@ -19,6 +19,21 @@
 //     statements must be mutated through sync/atomic, the metrics API, a
 //     mutex, or index-addressed slots — never bare captured scalars.
 //
+// Four flow-aware analyzers guard the determinism and concurrency
+// contract directly (DESIGN.md §14), built on the intra-procedural
+// statement-graph walker in flow.go:
+//
+//   - detcheck: no order-dependent accumulation or serialization inside
+//     map ranges (use stable.SortedKeys), no clock-seeded or global
+//     math/rand sources, no wall-clock reads in pure solver packages.
+//   - lockheld: no blocking calls (channels, sync waits, network I/O)
+//     while a mutex may still be held, tracked flow-sensitively across
+//     branches, early returns and defer-unlock.
+//   - goleak: goroutines launched in request-path functions need a
+//     visible join or cancellation edge.
+//   - errflow: wire-boundary errors (Encode/Decode/Close/Write/Flush)
+//     are handled or discarded explicitly with `_ =`, never silently.
+//
 // Findings can be suppressed, narrowly, with a pragma on the same line or
 // the line above:
 //

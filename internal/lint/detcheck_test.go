@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestDetCheckPureSolver(t *testing.T) {
+	lint.RunFixture(t, lint.DetCheck, "detcheck/internal/dp")
+}
+
+func TestDetCheckServing(t *testing.T) {
+	lint.RunFixture(t, lint.DetCheck, "detcheck/internal/cloud")
+}
+
+// TestDetCheckOutOfScope: the same hazardous shapes outside the guarded
+// packages (dp, neural, cloud, cluster, metrics) must stay silent —
+// tools and experiments may shuffle and stamp freely.
+func TestDetCheckOutOfScope(t *testing.T) {
+	res := lint.RunFixture(t, lint.DetCheck, "detcheck/web")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("detcheck fired %d finding(s) outside its scope", n)
+	}
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestErrFlow(t *testing.T) {
+	lint.RunFixture(t, lint.ErrFlow, "errflow/internal/cloud")
+}
+
+// TestErrFlowOutOfScope: bare discards outside the wire/serving packages
+// are not errflow's business.
+func TestErrFlowOutOfScope(t *testing.T) {
+	res := lint.RunFixture(t, lint.ErrFlow, "errflow/web")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("errflow fired %d finding(s) outside its scope", n)
+	}
+}

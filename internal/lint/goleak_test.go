@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestGoLeak(t *testing.T) {
+	lint.RunFixture(t, lint.GoLeak, "goleak/internal/cloud")
+}

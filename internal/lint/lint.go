@@ -4,7 +4,10 @@ import "strings"
 
 // All returns the full analyzer suite in the order cmd/evlint runs it.
 func All() []*Analyzer {
-	return []*Analyzer{CtxCheck, UnitCheck, FloatEq, AtomicCounter}
+	return []*Analyzer{
+		CtxCheck, UnitCheck, FloatEq, AtomicCounter,
+		DetCheck, LockHeld, GoLeak, ErrFlow,
+	}
 }
 
 // ByName resolves an analyzer by its pragma/CLI name.

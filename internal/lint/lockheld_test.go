@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+func TestLockHeld(t *testing.T) {
+	lint.RunFixture(t, lint.LockHeld, "lockheld/internal/cloud")
+}

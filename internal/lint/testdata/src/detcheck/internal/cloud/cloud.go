@@ -1,0 +1,33 @@
+// Fixture for detcheck: rand-source discipline in a serving package.
+package cloud
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clockRNG flags: a top-level source seeded from the wall clock draws a
+// different stream every run.
+var clockRNG = rand.New(rand.NewSource(time.Now().UnixNano())) // want `top-level math/rand source seeded from the clock`
+
+// seededRNG passes: the seed is explicit.
+var seededRNG = rand.New(rand.NewSource(7))
+
+// draw flags: the package-level rand functions share the global,
+// effectively clock-seeded stream.
+func draw() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global math/rand source`
+}
+
+// drawSeeded passes: method call on an injected source.
+func drawSeeded() float64 {
+	return seededRNG.Float64()
+}
+
+// uptime passes: cloud is a serving package, not a pure solver; wall
+// clock reads are its job (deadlines, failure detection).
+func uptime(start time.Time) time.Duration {
+	return time.Now().Sub(start)
+}
+
+var _ = clockRNG

@@ -1,0 +1,20 @@
+// Fixture for detcheck scoping: web is not one of the guarded packages,
+// so the same hazardous shapes must stay silent.
+package web
+
+import (
+	"math/rand"
+	"time"
+)
+
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // no finding: out of scope
+	}
+	return out
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second))) // no finding: out of scope
+}

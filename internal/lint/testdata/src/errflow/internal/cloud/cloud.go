@@ -1,0 +1,67 @@
+// Fixture for errflow: wire-boundary errors must be handled or
+// discarded explicitly.
+package cloud
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+)
+
+// export flags: a gob encode error dropped here ships a truncated table.
+func export(w io.Writer, v map[string][]float64) {
+	gob.NewEncoder(w).Encode(v) // want `Encode silently discarded at a wire boundary`
+}
+
+// exportChecked passes: the error is propagated.
+func exportChecked(w io.Writer, v map[string][]float64) error {
+	return gob.NewEncoder(w).Encode(v)
+}
+
+// exportDeliberate passes: `_ =` is a visible, deliberate decision.
+func exportDeliberate(w io.Writer, v map[string][]float64) {
+	_ = gob.NewEncoder(w).Encode(v)
+}
+
+// closeBody flags: Close on a response body returns the transport's
+// final error.
+func closeBody(resp *http.Response) {
+	resp.Body.Close() // want `Close silently discarded at a wire boundary`
+}
+
+// closeDeferred passes: the deferred-close idiom; the error is
+// unobservable at the defer site.
+func closeDeferred(resp *http.Response) error {
+	defer resp.Body.Close()
+	var v int
+	return gob.NewDecoder(resp.Body).Decode(&v)
+}
+
+// fingerprint flags: a dropped hash-write error (even one documented
+// never to happen) deserves an explicit discard.
+func fingerprint(s string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintln(h, s) // want `error from fmt\.Fprintln silently discarded`
+	return h.Sum64()
+}
+
+// fingerprintExplicit passes: `_, _ =` documents the decision.
+func fingerprintExplicit(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintln(h, s)
+	return h.Sum64()
+}
+
+// diag passes: Fprint* to the terminal streams is diagnostics, not wire.
+func diag(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// errorlessCall passes: only calls whose results include an error are
+// candidates (http.Header.Set returns nothing).
+func errorlessCall(h http.Header) {
+	h.Set("X-Node", "n1")
+}

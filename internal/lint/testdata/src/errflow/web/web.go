@@ -1,0 +1,9 @@
+// Fixture for errflow scoping: web is outside the wire/serving
+// packages, so bare discards there are not this analyzer's business.
+package web
+
+import "net/http"
+
+func closeBody(resp *http.Response) {
+	resp.Body.Close() // no finding: out of scope
+}

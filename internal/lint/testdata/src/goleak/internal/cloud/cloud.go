@@ -1,0 +1,64 @@
+// Fixture for goleak: goroutines launched in request-path functions
+// must have a visible join or cancellation edge.
+package cloud
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"sync"
+)
+
+// handler flags: a fire-and-forget goroutine per request is an
+// unbounded background population.
+func handler(w http.ResponseWriter, r *http.Request) {
+	go func() { // want `goroutine launched in a request-path function without a join or cancellation edge`
+		log.Println("audit", r.URL.Path)
+	}()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlerJoined passes: WaitGroup.Done inside, Wait at the launcher.
+func handlerJoined(w http.ResponseWriter, _ *http.Request) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		log.Println("audit")
+	}()
+	wg.Wait()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlerRendezvous passes: the result channel is the join edge.
+func handlerRendezvous(w http.ResponseWriter, _ *http.Request) {
+	res := make(chan int, 1)
+	go func() { res <- 42 }()
+	<-res
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlerCtxStop passes: the goroutine selects on a ctx-derived stop.
+func handlerCtxStop(ctx context.Context, tick chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-tick:
+		}
+	}()
+}
+
+// backgroundPump passes: not a request-path function — long-lived
+// process plumbing may launch workers the process lifetime owns.
+func backgroundPump() {
+	go func() { log.Println("tick") }()
+}
+
+// handlerNamed passes: named functions are outside this intra-procedural
+// pass (their bodies are not visible here), so they are not judged.
+func handlerNamed(w http.ResponseWriter, _ *http.Request) {
+	go logAudit()
+	w.WriteHeader(http.StatusOK)
+}
+
+func logAudit() { log.Println("audit") }

@@ -1,0 +1,26 @@
+// Package stable holds deterministic-iteration helpers. Go map iteration
+// order is randomized per run; any code that folds a map into an ordered
+// artifact — a gob payload, a fingerprint, an HTTP response body, a
+// membership list — must iterate in a defined order or its output varies
+// run to run, which breaks the repo's bit-exact parity contract
+// (DESIGN.md §6, §12, §13). detcheck (internal/lint) flags raw map-range
+// accumulation in the numeric and serving packages; ranging over
+// SortedKeys is the blessed replacement.
+package stable
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. The result is a fresh
+// slice; iterating it (instead of ranging the map directly) makes every
+// downstream append, fold, or serialization order-deterministic.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cmp.Less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,49 @@
+package stable
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeysStrings(t *testing.T) {
+	m := map[string]int{"n3": 3, "n1": 1, "n10": 10, "a": 0}
+	got := SortedKeys(m)
+	want := []string{"a", "n1", "n10", "n3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysInts(t *testing.T) {
+	m := map[int]string{5: "e", -1: "a", 3: "c"}
+	got := SortedKeys(m)
+	want := []int{-1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysEmptyAndNil(t *testing.T) {
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+	var nilMap map[string]int
+	if got := SortedKeys(nilMap); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+// TestSortedKeysDeterministic: repeated calls over the same map agree —
+// the property detcheck exists to protect.
+func TestSortedKeysDeterministic(t *testing.T) {
+	m := map[string]int{}
+	for _, k := range []string{"x", "b", "m", "q", "a", "z", "c"} {
+		m[k] = len(k)
+	}
+	first := SortedKeys(m)
+	for i := 0; i < 50; i++ {
+		if got := SortedKeys(m); !reflect.DeepEqual(got, first) {
+			t.Fatalf("iteration %d: SortedKeys = %v, want %v", i, got, first)
+		}
+	}
+}
