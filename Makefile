@@ -13,13 +13,16 @@ check: vet lint build race bench-smoke bench-fleet bench-dp chaos chaos-cluster
 vet:
 	$(GO) vet ./...
 
-# Custom static-analysis suite (internal/lint via cmd/evlint), eight
+# Custom static-analysis suite (internal/lint via cmd/evlint), twelve
 # analyzers: context plumbing on the request path, unit-suffix hygiene,
-# float equality, atomicity of shared counters, plus the flow-aware
+# float equality, atomicity of shared counters, the flow-aware
 # determinism/concurrency layer (detcheck, lockheld, goleak, errflow —
-# DESIGN.md §14). Exits non-zero on any unwaived finding; //lint:allow
-# waivers are summarized on stderr. -max-wall keeps the suite honest
-# about its own latency budget (exit 3 on breach).
+# DESIGN.md §14), and the interprocedural layer on call-graph summaries
+# (puritycert, lockorder, ctxprop, hotalloc — DESIGN.md §15;
+# `evlint -summaries` dumps the summary table). Exits non-zero on any
+# unwaived finding; //lint:allow waivers are summarized on stderr.
+# -max-wall keeps the suite honest about its own latency budget
+# (exit 3 on breach).
 lint:
 	$(GO) run ./cmd/evlint -max-wall 180s ./...
 

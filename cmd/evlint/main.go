@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	evlint [-list] [-run name[,name...]] [-json] [-max-wall d] [packages...]
+//	evlint [-list] [-run name[,name...]] [-json] [-summaries] [-max-wall d] [packages...]
 //
 // With no packages, ./... is linted. Exit status is 1 when any active
 // finding remains; findings suppressed with //lint:allow pragmas do not
@@ -14,7 +14,10 @@
 // findings plus counts) to stdout as one JSON object for CI artifacts.
 // -max-wall bounds the lint run's own wall clock: an otherwise-clean
 // run that overshoots exits 3, so a slow analyzer fails CI instead of
-// silently eating the pipeline's latency budget.
+// silently eating the pipeline's latency budget. -summaries dumps the
+// per-function interprocedural summaries (effects, lock sets, blocking,
+// context flow — internal/lint/summary.go) as JSON and exits; CI uploads
+// it as an artifact next to the findings report.
 package main
 
 import (
@@ -67,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "print analyzer names and one-line docs, then exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	asJSON := fs.Bool("json", false, "write the full report to stdout as JSON")
+	summaries := fs.Bool("summaries", false, "dump the per-function interprocedural summaries as JSON and exit")
 	maxWall := fs.Duration("max-wall", 0, "fail (exit 3) if the lint run itself takes longer than this")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,8 +84,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *only != "" {
+		// Select into a FRESH slice: reslicing analyzers[:0] and appending
+		// would overwrite the backing array the full list still points at,
+		// corrupting the valid-names listing in the error below.
 		valid := analyzers
-		analyzers = analyzers[:0]
+		selected := make([]*lint.Analyzer, 0, len(valid))
 		for _, name := range strings.Split(*only, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
@@ -89,8 +96,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 					name, analyzerNames(valid))
 				return 2
 			}
-			analyzers = append(analyzers, a)
+			selected = append(selected, a)
 		}
+		analyzers = selected
 	}
 
 	patterns := fs.Args()
@@ -102,6 +110,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "evlint:", err)
 		return 2
+	}
+	if *summaries {
+		// The summary dump is the CI artifact that makes each commit's
+		// certification state (purity, lock sets, blocking, ctx flow)
+		// inspectable without re-running the analysis. Always JSON.
+		prog := lint.BuildProgram(pkgs)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(prog.Summaries()); err != nil {
+			fmt.Fprintln(stderr, "evlint:", err)
+			return 2
+		}
+		return 0
 	}
 	res, err := lint.Run(analyzers, pkgs)
 	if err != nil {

@@ -16,6 +16,7 @@ func TestList(t *testing.T) {
 	for _, name := range []string{
 		"ctxcheck", "unitcheck", "floateq", "atomiccounter",
 		"detcheck", "lockheld", "goleak", "errflow",
+		"puritycert", "lockorder", "ctxprop", "hotalloc",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("evlint -list output missing %q:\n%s", name, out.String())
@@ -37,6 +38,74 @@ func TestUnknownAnalyzer(t *testing.T) {
 		if !strings.Contains(errb.String(), name) {
 			t.Errorf("stderr missing valid analyzer name %q:\n%s", name, errb.String())
 		}
+	}
+}
+
+// TestUnknownAnalyzerInList: a bad name in the MIDDLE of a comma list is
+// the same usage error, and the valid-names listing must still show the
+// full suite — this regressed once when the selection loop appended into
+// the valid slice's own backing array.
+func TestUnknownAnalyzerInList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "ctxcheck,detcheck,nosuch,lockorder"}, &out, &errb); code != 2 {
+		t.Fatalf("evlint -run ctxcheck,detcheck,nosuch,lockorder = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr = %q, want unknown-analyzer message naming nosuch", errb.String())
+	}
+	for _, name := range []string{
+		"ctxcheck", "unitcheck", "floateq", "atomiccounter",
+		"detcheck", "lockheld", "goleak", "errflow",
+		"puritycert", "lockorder", "ctxprop", "hotalloc",
+	} {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("valid-names listing corrupted, missing %q:\n%s", name, errb.String())
+		}
+	}
+}
+
+// TestRunCommaList: a comma-separated -run selection runs exactly the
+// named analyzers and succeeds on a clean package.
+func TestRunCommaList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "ctxcheck, floateq ,puritycert", "."}, &out, &errb); code != 0 {
+		t.Fatalf("evlint -run comma list = %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "0 active finding(s)") {
+		t.Errorf("stderr missing summary line:\n%s", errb.String())
+	}
+}
+
+// TestSummariesDump: -summaries writes the per-function interprocedural
+// summary table as JSON — the CI artifact pinning each commit's
+// certification state.
+func TestSummariesDump(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-summaries", "."}, &out, &errb); code != 0 {
+		t.Fatalf("evlint -summaries = %d\nstderr: %s", code, errb.String())
+	}
+	var sums []struct {
+		Func      string   `json:"func"`
+		Package   string   `json:"package"`
+		Effects   []string `json:"effects"`
+		Blocks    bool     `json:"blocks"`
+		CtxParam  bool     `json:"ctxParam"`
+		Certified bool     `json:"certified"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &sums); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(sums) == 0 {
+		t.Fatal("summary dump is empty")
+	}
+	found := false
+	for _, s := range sums {
+		if s.Func == "evlint.run" && s.Package == "evvo/cmd/evlint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("summary dump missing evlint.run over evvo/cmd/evlint:\n%s", out.String())
 	}
 }
 

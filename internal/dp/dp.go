@@ -230,6 +230,8 @@ type stageInfo struct {
 }
 
 // Optimize runs the DP and returns the minimum-charge velocity profile.
+//
+//lint:certify pure
 func Optimize(cfg Config) (*Result, error) {
 	return OptimizeCtx(context.Background(), cfg)
 }
@@ -308,6 +310,8 @@ func shrunkWindows(cfg *Config, stages []stageInfo) map[int][]queue.Window {
 // the pass touches is owned by this call). The returned error is ctx.Err()
 // verbatim, so callers can match context.Canceled / DeadlineExceeded with
 // errors.Is.
+//
+//lint:certify pure
 func OptimizeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -151,6 +151,8 @@ func (rt *RouteTables) Crossings() int {
 // corridor around every coarse crossing's path. The resulting tables hold
 // approximate crossings under the same error contract as OptimizeCtx
 // (DESIGN.md §12); gridKey keeps them apart from exact tables.
+//
+//lint:certify pure
 func BuildRouteTables(ctx context.Context, cfg Config) (*RouteTables, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -488,6 +490,8 @@ type stitchBack struct {
 // Both carry exact times alongside the buckets, so the disagreement is
 // bounded by the bucket quantization, not accumulated (pinned within
 // tolerance by TestStitchMatchesMonolithicFig6).
+//
+//lint:certify pure
 func (rt *RouteTables) StitchCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

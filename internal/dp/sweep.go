@@ -35,6 +35,8 @@ type DepartureOption struct {
 // departure, exactly as a serial loop would. Each departure is indexed as
 // from + i·step rather than accumulated, so long sweeps stay on-grid
 // instead of drifting in floating point.
+//
+//lint:certify pure
 func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, error) {
 	return SweepDeparturesCtx(context.Background(), cfg, from, to, step)
 }
@@ -44,6 +46,8 @@ func SweepDepartures(cfg Config, from, to, step float64) ([]DepartureOption, err
 // not yet dispatched when ctx dies are skipped. The pool is always joined
 // before returning, so cancellation leaks no goroutines. A cancelled sweep
 // reports an error wrapping ctx.Err() (match with errors.Is).
+//
+//lint:certify pure
 func SweepDeparturesCtx(ctx context.Context, cfg Config, from, to, step float64) ([]DepartureOption, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("dp: sweep step %.2f s must be positive", step)

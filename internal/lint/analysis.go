@@ -87,6 +87,11 @@ type Pass struct {
 	PkgPath   string
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-invocation interprocedural view (call graph +
+	// function summaries, callgraph.go/summary.go), built once per Run
+	// and shared by every analyzer and package. Intra-procedural
+	// analyzers ignore it.
+	Prog *Program
 	// report receives every diagnostic, pre-suppression.
 	report func(Diagnostic)
 }
@@ -123,6 +128,12 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 		return nil, fmt.Errorf("lint: no packages to analyze")
 	}
 	res := &Result{Fset: pkgs[0].Fset}
+	// One interprocedural build per invocation, shared by all analyzers
+	// over all packages — the graph walk and summary fixpoint are paid
+	// once, not once per (package, analyzer) pair. programBuilds lets the
+	// tests pin this single-build contract.
+	prog := BuildProgram(pkgs)
+	programBuilds++
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg.Fset, pkg.Syntax)
 		for _, a := range analyzers {
@@ -134,6 +145,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 				PkgPath:   pkg.PkgPath,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
@@ -166,6 +178,11 @@ func sortDiags(fset *token.FileSet, ds []Diagnostic) {
 		return ds[i].Analyzer < ds[j].Analyzer
 	})
 }
+
+// programBuilds counts BuildProgram invocations made by Run, so tests
+// can assert the one-build-per-invocation contract (ISSUE 10 satellite:
+// one load + one graph build, N analyzers).
+var programBuilds int
 
 // isTestFile reports whether the file containing pos is a _test.go file.
 // Analyzers use it to scope themselves to production code.

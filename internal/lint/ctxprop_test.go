@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+// TestCtxProp pins the transitive deadline-propagation contract:
+// ctx-holding request functions must not call into context-less chains
+// that may block, with the drop reported at the call site. Clean
+// shapes: ctx threaded all the way, done-channel conduits,
+// select-with-default helpers, goroutine spawns, WaitGroup joins.
+func TestCtxProp(t *testing.T) {
+	lint.RunFixture(t, lint.CtxProp, "ctxprop/internal/cloud")
+}
+
+// TestCtxPropOutOfScope: the same dropping shape outside the serving
+// packages is not ctxprop's business.
+func TestCtxPropOutOfScope(t *testing.T) {
+	res := lint.RunFixture(t, lint.CtxProp, "ctxprop/plain")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("ctxprop fired %d finding(s) outside its scope", n)
+	}
+}

@@ -1,0 +1,208 @@
+package lint
+
+// Edge-case tests for the flow walker (flow.go) — the layer the
+// interprocedural summaries lean on for flow-sensitive lock tracking.
+// Each test drives walkFlow over a parsed snippet with a tiny visitor
+// that interprets hold(x)/drop(x) as fact transitions and probe(p) as a
+// snapshot request, then asserts which facts reach each probe. The
+// contract being pinned is the documented may-analysis direction:
+// dropping facts on unmodeled edges (goto, labeled branches) may lose
+// facts, never invent them.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// probeVisitor interprets calls named hold/drop/probe (plain or method
+// form) whose single argument is an identifier. Probes union across
+// visits because loop bodies are walked twice by design.
+type probeVisitor struct {
+	snaps  map[string]map[string]bool // probe label -> facts ever seen there
+	defers []string                   // deferred call expressions, in delivery order
+}
+
+func (v *probeVisitor) transfer(s ast.Stmt, facts factSet) {
+	if d, ok := s.(*ast.DeferStmt); ok {
+		v.defers = append(v.defers, exprText(d.Call))
+	}
+	inspectShallow(headerExprs(s), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		switch name {
+		case "hold":
+			facts[arg.Name] = call.Pos()
+		case "drop":
+			delete(facts, arg.Name)
+		case "probe":
+			set := v.snaps[arg.Name]
+			if set == nil {
+				set = make(map[string]bool)
+				v.snaps[arg.Name] = set
+			}
+			for k := range facts {
+				set[k] = true
+			}
+		}
+		return true
+	})
+}
+
+// walkSnippet wraps body in a function, parses it (no type check — the
+// walker is pure AST), and returns the probe snapshots.
+func walkSnippet(t *testing.T, body string) *probeVisitor {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v\n%s", err, src)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if d2, ok := d.(*ast.FuncDecl); ok {
+			fd = d2
+		}
+	}
+	v := &probeVisitor{snaps: make(map[string]map[string]bool)}
+	walkFlow(fd.Body, v)
+	return v
+}
+
+func wantFacts(t *testing.T, v *probeVisitor, probe string, facts ...string) {
+	t.Helper()
+	got, ok := v.snaps[probe]
+	if !ok {
+		t.Fatalf("probe %q was never reached", probe)
+	}
+	names := make([]string, 0, len(got))
+	for k := range got {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	sort.Strings(facts)
+	if strings.Join(names, ",") != strings.Join(facts, ",") {
+		t.Errorf("probe %q saw facts [%s], want [%s]",
+			probe, strings.Join(names, ","), strings.Join(facts, ","))
+	}
+}
+
+// TestFlowLabeledBreak: a labeled break out of nested loops ends its
+// path, but facts established before it still reach the loop exit via
+// the loop's may-join — union can only add facts, the safe direction
+// for "is a lock possibly held".
+func TestFlowLabeledBreak(t *testing.T) {
+	v := walkSnippet(t, `
+	hold(a)
+outer:
+	for {
+		for {
+			hold(b)
+			break outer
+		}
+	}
+	probe(after)
+`)
+	wantFacts(t, v, "after", "a", "b")
+}
+
+// TestFlowLabeledContinue: facts established on a branch arm that ends
+// in a labeled continue are dropped at the branch join — the documented
+// may-lose direction — while facts from before the loop survive every
+// iteration and the loop exit.
+func TestFlowLabeledContinue(t *testing.T) {
+	v := walkSnippet(t, `
+	hold(c)
+loop:
+	for i := 0; i < n; i++ {
+		if cond {
+			hold(d)
+			continue loop
+		}
+		probe(inLoop)
+	}
+	probe(done)
+`)
+	wantFacts(t, v, "inLoop", "c")
+	wantFacts(t, v, "done", "c")
+}
+
+// TestFlowGoto: the goto arm's facts are dropped rather than rejoined at
+// the label — code after the label sees only the fall-through state, so
+// a fact dropped on the straight-line path stays dropped even though the
+// goto path never released it (false-negative direction, by design).
+func TestFlowGoto(t *testing.T) {
+	v := walkSnippet(t, `
+	hold(g)
+	if cond {
+		goto done
+	}
+	probe(before)
+	drop(g)
+done:
+	probe(end)
+`)
+	wantFacts(t, v, "before", "g")
+	wantFacts(t, v, "end")
+}
+
+// TestFlowDeferOrdering: deferred calls do NOT execute at their textual
+// position — a deferred drop leaves the fact held for the rest of the
+// body, and a deferred hold never establishes one. The DeferStmt itself
+// IS delivered to the visitor in registration order, which is what lets
+// lockheld implement its defer-unlock special case on top of this
+// walker.
+func TestFlowDeferOrdering(t *testing.T) {
+	v := walkSnippet(t, `
+	hold(m)
+	defer drop(m)
+	probe(mid)
+	drop(m)
+	defer hold(x)
+	probe(tail)
+`)
+	wantFacts(t, v, "mid", "m")
+	wantFacts(t, v, "tail")
+	if want := []string{"drop(m)", "hold(x)"}; !reflect.DeepEqual(v.defers, want) {
+		t.Errorf("defer statements delivered as %v, want %v", v.defers, want)
+	}
+}
+
+// TestFlowMethodValueReceiver: a method CALL through a selector takes
+// effect at its position, but binding the method VALUE does not — and
+// neither does invoking it later through the bound name (a dynamic call
+// the walker is opaque to). Facts from before are unaffected.
+func TestFlowMethodValueReceiver(t *testing.T) {
+	v := walkSnippet(t, `
+	hold(r)
+	probe(p1)
+	m.drop(r)
+	probe(p2)
+	g := m.hold
+	probe(p3)
+	g(r)
+	probe(p4)
+`)
+	wantFacts(t, v, "p1", "r")
+	wantFacts(t, v, "p2")
+	wantFacts(t, v, "p3")
+	wantFacts(t, v, "p4")
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+// TestHotAlloc pins the hot-path allocation contract: direct and
+// transitive allocation sites under a //lint:hot root are flagged at
+// the site, struct value literals and index writes pass, and cold
+// functions allocate freely.
+func TestHotAlloc(t *testing.T) {
+	lint.RunFixture(t, lint.HotAlloc, "hotalloc/internal/dp")
+}
+
+// TestHotAllocNoRoots: a package with no //lint:hot annotations
+// anywhere produces no findings at all.
+func TestHotAllocNoRoots(t *testing.T) {
+	res := lint.RunFixture(t, lint.HotAlloc, "ctxprop/plain")
+	if n := len(res.Active) + len(res.Allowed); n != 0 {
+		t.Fatalf("hotalloc fired %d finding(s) with no hot roots", n)
+	}
+}

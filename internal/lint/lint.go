@@ -7,6 +7,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CtxCheck, UnitCheck, FloatEq, AtomicCounter,
 		DetCheck, LockHeld, GoLeak, ErrFlow,
+		PurityCert, LockOrder, CtxProp, HotAlloc,
 	}
 }
 

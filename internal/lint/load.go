@@ -53,9 +53,21 @@ type loader struct {
 	mu    sync.Mutex
 	fset  *token.FileSet
 	types map[string]*types.Package
+	// pkgs caches fully-checked TARGET packages (syntax + types.Info) by
+	// import path, so one process pays the parse + full type-check once
+	// per package no matter how many LoadPackages calls follow — N
+	// analyzers in one evlint invocation, or many fixture tests touching
+	// the same imports, all share the work. Sources are assumed stable
+	// for the life of the process (evlint is one-shot; tests never
+	// rewrite fixtures mid-run).
+	pkgs map[string]*Package
 }
 
-var world = &loader{fset: token.NewFileSet(), types: make(map[string]*types.Package)}
+var world = &loader{
+	fset:  token.NewFileSet(),
+	types: make(map[string]*types.Package),
+	pkgs:  make(map[string]*Package),
+}
 
 // LoadPackages runs `go list` with the given patterns in dir and returns
 // the matched packages, fully type-checked with types.Info populated.
@@ -113,7 +125,12 @@ func (ld *loader) ensureDep(lp *listPkg) error {
 }
 
 // check fully type-checks a target package, recording types.Info.
+// Results are cached by import path: a second request returns the same
+// *Package (pointer-identical — the cache test pins this).
 func (ld *loader) check(lp *listPkg) (*Package, error) {
+	if pkg, ok := ld.pkgs[lp.ImportPath]; ok {
+		return pkg, nil
+	}
 	if lp.Error != nil {
 		return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
 	}
@@ -130,14 +147,16 @@ func (ld *loader) check(lp *listPkg) (*Package, error) {
 	if _, ok := ld.types[lp.ImportPath]; !ok {
 		ld.types[lp.ImportPath] = tpkg
 	}
-	return &Package{
+	pkg := &Package{
 		PkgPath:   lp.ImportPath,
 		Dir:       lp.Dir,
 		Fset:      ld.fset,
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
-	}, nil
+	}
+	ld.pkgs[lp.ImportPath] = pkg
+	return pkg, nil
 }
 
 // config builds a types.Config whose importer resolves against the cache,
@@ -239,6 +258,9 @@ func LoadFixture(root, pkgpath string) (*Package, error) {
 }
 
 func (ld *loader) fixture(root, pkgpath string, loading map[string]bool) (*Package, error) {
+	if pkg, ok := ld.pkgs[pkgpath]; ok {
+		return pkg, nil
+	}
 	if loading[pkgpath] {
 		return nil, fmt.Errorf("lint: fixture import cycle through %q", pkgpath)
 	}
@@ -296,14 +318,16 @@ func (ld *loader) fixture(root, pkgpath string, loading map[string]bool) (*Packa
 		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", pkgpath, err)
 	}
 	ld.types[pkgpath] = tpkg
-	return &Package{
+	pkg := &Package{
 		PkgPath:   pkgpath,
 		Dir:       dir,
 		Fset:      ld.fset,
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
-	}, nil
+	}
+	ld.pkgs[pkgpath] = pkg
+	return pkg, nil
 }
 
 // importerFunc adapts a function to types.Importer.

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"evvo/internal/lint"
+)
+
+// TestLockOrder pins the cross-function deadlock class: inconsistent
+// two-lock nesting, cycles formed through a lock-taking helper call,
+// and the clean cases (consistent order everywhere, locks released
+// before the reversed acquisition, same-class re-entry).
+func TestLockOrder(t *testing.T) {
+	lint.RunFixture(t, lint.LockOrder, "lockorder/internal/cloud")
+}

@@ -1,0 +1,881 @@
+package lint
+
+// Bottom-up per-function summaries over the call graph (callgraph.go),
+// computed SCC by SCC in callees-first order with a fixpoint iteration
+// inside cycles. Each summary records four families of facts, every one
+// carrying a witness chain (the call path to the root cause) so the
+// analyzers built on top can explain a transitive finding end-to-end:
+//
+//   - effects: nondeterministic inputs the function may observe — wall
+//     clock reads, global math/rand draws, order-dependent folds inside
+//     map ranges, package-level variable mutation;
+//   - lock sets: which lock classes the function may acquire, and the
+//     lock→lock acquisition-order edges it establishes (lock B taken
+//     while A is held), tracked flow-sensitively with the walker in
+//     flow.go so early-exit unlocks stay precise;
+//   - blocking: whether the function may park — channel operations,
+//     selects without a default, time.Sleep, HTTP round trips — plus the
+//     ctxprop-specific refinement "blocks with no context.Context
+//     parameter anywhere on the path" (unguarded blocking);
+//   - allocation: whether the function may allocate on the hot path —
+//     make/new/append, slice, map and pointer composite literals, and
+//     fmt calls (interface boxing).
+//
+// The contract with consumers (DESIGN.md §15): facts are MAY facts and
+// monotone — a call site unions the callee's summary into the caller —
+// so fixpoints converge; dynamic calls (function values, interface
+// methods) contribute no facts but set Dynamic, and each analyzer
+// documents how it treats that hole.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Effect kinds, in severity/report order.
+const (
+	effTime = iota // wall-clock read (time.Now/Since/Until)
+	effRand        // global math/rand stream
+	effMapOrder    // order-dependent fold inside a map range
+	effGlobal      // package-level variable mutation
+	numEffects
+)
+
+var effectNames = [numEffects]string{"wall-clock", "global-rand", "map-order", "global-write"}
+
+// A witness pins one fact to the place that established it: a source
+// position inside the summarized function, a description of the root
+// cause, and — when the fact arrived through a call — the callee whose
+// summary supplied it. Chains are reconstructed by following via links
+// through the callee summaries.
+type witness struct {
+	pos  token.Pos
+	what string
+	via  *types.Func // nil when the fact is established directly
+}
+
+// A Summary is the interprocedural fact set of one declared function.
+type Summary struct {
+	fn   *types.Func
+	node *fnode
+
+	effects [numEffects]*witness
+	// blocking: any parking operation, sync.WaitGroup/Cond waits
+	// included (the join discipline lockheld already polices).
+	blocking *witness
+	// unguarded: the ctxprop refinement — the function may park on a
+	// channel/select/sleep/HTTP op and has NO context.Context parameter,
+	// or calls such a function; the deadline cannot reach the block.
+	// Functions WITH a ctx parameter never propagate this upward: the
+	// drop (if any) is reported inside them, where the ctx went missing.
+	unguarded *witness
+	allocs    *witness
+
+	// acquires: lock classes the function may take at some point during
+	// a call (transitively), each with the witness that first saw it.
+	acquires map[string]*witness
+	// lockEdges: acquisition-order edges "B taken while A held", keyed
+	// A\x00B, with the position that established the edge.
+	lockEdges map[string]*witness
+
+	hasCtx    bool // signature carries context.Context or *http.Request
+	dynamic   bool // has call sites the graph could not resolve
+	certified bool // carries //lint:certify pure
+	hot       bool // carries //lint:hot
+}
+
+func (s *Summary) pure() bool {
+	for _, w := range s.effects {
+		if w != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// summarize computes every node's Summary, bottom-up over the SCC DAG.
+func summarize(prog *Program) {
+	for _, n := range prog.order {
+		n.sum = newSummary(n)
+	}
+	for _, scc := range prog.sccs() {
+		// Deterministic member order inside the component.
+		sort.Slice(scc, func(i, j int) bool { return scc[i].decl.Pos() < scc[j].decl.Pos() })
+		for {
+			changed := false
+			for _, n := range scc {
+				if computeSummary(prog, n) {
+					changed = true
+				}
+			}
+			if !changed || len(scc) == 1 {
+				break
+			}
+		}
+	}
+}
+
+func newSummary(n *fnode) *Summary {
+	s := &Summary{
+		fn:        n.fn,
+		node:      n,
+		acquires:  make(map[string]*witness),
+		lockEdges: make(map[string]*witness),
+		hasCtx:    signatureCarriesCtx(n.fn),
+		certified: declHasPragma(n.decl, "//lint:certify pure"),
+		hot:       declHasPragma(n.decl, "//lint:hot"),
+	}
+	if n.dynamicPos != token.NoPos {
+		s.dynamic = true
+	}
+	return s
+}
+
+// computeSummary (re)derives n's facts from its body and the CURRENT
+// summaries of its callees, reporting whether anything new appeared —
+// the fixpoint test inside an SCC. Facts only ever turn on, so the
+// iteration terminates.
+func computeSummary(prog *Program, n *fnode) bool {
+	s := n.sum
+	before := s.factKey()
+
+	scanDirect(n, s)
+
+	for _, cs := range n.calls {
+		if cs.target != nil {
+			mergeCallee(s, cs, cs.target.sum)
+		} else {
+			mergeExternal(n.pkg, s, cs)
+		}
+		if cs.target != nil && cs.target.sum.dynamic {
+			s.dynamic = true
+		}
+	}
+
+	lockWalk(prog, n)
+
+	return s.factKey() != before
+}
+
+// factKey folds the boolean shape of the summary into a comparable
+// string for fixpoint detection (witness positions excluded — they may
+// legitimately move between iterations without new facts appearing).
+func (s *Summary) factKey() string {
+	var b strings.Builder
+	for i := range s.effects {
+		if s.effects[i] != nil {
+			b.WriteByte(byte('0' + i))
+		}
+	}
+	if s.blocking != nil {
+		b.WriteByte('B')
+	}
+	if s.unguarded != nil {
+		b.WriteByte('U')
+	}
+	if s.allocs != nil {
+		b.WriteByte('A')
+	}
+	if s.dynamic {
+		b.WriteByte('D')
+	}
+	keys := make([]string, 0, len(s.acquires)+len(s.lockEdges))
+	for k := range s.acquires {
+		keys = append(keys, "a"+k)
+	}
+	for k := range s.lockEdges {
+		keys = append(keys, "e"+k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// scanDirect records the facts n's own body establishes without calls:
+// direct blocking operations, allocation sites, map-order folds and
+// global writes. Function literals are included for effects/allocations
+// (they belong to whoever wrote them) but not for blocking.
+func scanDirect(n *fnode, s *Summary) {
+	info := n.pkg.TypesInfo
+	var scan func(node ast.Node, noBlock bool)
+	scan = func(node ast.Node, noBlock bool) {
+		ast.Inspect(node, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.FuncLit:
+				scan(nd.Body, true)
+				return false
+			case *ast.GoStmt:
+				// Effects and allocations in the spawned call's arguments
+				// still happen synchronously; blocking does not.
+				for _, arg := range nd.Call.Args {
+					scan(arg, true)
+				}
+				scan(nd.Call.Fun, true)
+				return false
+			case *ast.SendStmt:
+				if !noBlock {
+					s.setBlocking(nd.Pos(), "channel send", nil)
+					s.setUnguarded(nd.Pos(), "channel send", nil)
+				}
+			case *ast.UnaryExpr:
+				if nd.Op == token.ARROW && !noBlock {
+					s.setBlocking(nd.Pos(), "channel receive", nil)
+					s.setUnguarded(nd.Pos(), "channel receive", nil)
+				}
+			case *ast.SelectStmt:
+				if !hasDefaultClause(nd.Body) && !noBlock {
+					s.setBlocking(nd.Pos(), "select without default", nil)
+					// A select is HOW a ctx-aware function blocks
+					// correctly (ctx.Done is one of the arms), so it only
+					// counts as unguarded when no ctx is in scope — which
+					// is exactly the hasCtx test applied by setUnguarded.
+					s.setUnguarded(nd.Pos(), "select without default", nil)
+				}
+				// The comm operations are PART of the select — a receive
+				// under a default-carrying select never parks — so only
+				// the clause bodies are scanned, not the comm headers.
+				for _, c := range nd.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							scan(st, noBlock)
+						}
+					}
+				}
+				return false
+			case *ast.RangeStmt:
+				t := info.Types[nd.X].Type
+				if t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan && !noBlock {
+						s.setBlocking(nd.Pos(), "range over channel", nil)
+						s.setUnguarded(nd.Pos(), "range over channel", nil)
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						for _, h := range mapRangeHazards(info, nd) {
+							s.setEffect(effMapOrder, h.pos, h.what, nil)
+							break
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range nd.Lhs {
+					if pos, name, ok := writesPackageLevel(info, lhs); ok {
+						s.setEffect(effGlobal, pos, "writes package-level var "+name, nil)
+					}
+				}
+			case *ast.IncDecStmt:
+				if pos, name, ok := writesPackageLevel(info, nd.X); ok {
+					s.setEffect(effGlobal, pos, "writes package-level var "+name, nil)
+				}
+			case *ast.CompositeLit:
+				if w, ok := allocatingLiteral(info, nd); ok {
+					s.setAlloc(nd.Pos(), w, nil)
+				}
+			case *ast.CallExpr:
+				scanDirectCall(n, s, nd, noBlock)
+			}
+			return true
+		})
+	}
+	scan(n.decl.Body, false)
+}
+
+// scanDirectCall classifies one call site for the DIRECT facts it
+// establishes: builtin allocators and the curated external tables.
+// In-Program callees are merged separately (mergeCallee).
+func scanDirectCall(n *fnode, s *Summary, call *ast.CallExpr, noBlock bool) {
+	info := n.pkg.TypesInfo
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "append":
+				s.setAlloc(call.Pos(), "append growth", nil)
+			case "make":
+				s.setAlloc(call.Pos(), "make", nil)
+			case "new":
+				s.setAlloc(call.Pos(), "new", nil)
+			}
+			return
+		}
+	}
+	pkgPath, funcName, isPkgFn := pkgFuncOf(info, call)
+	if isPkgFn {
+		switch {
+		case pkgPath == "time" && (funcName == "Now" || funcName == "Since" || funcName == "Until"):
+			s.setEffect(effTime, call.Pos(), "time."+funcName+"()", nil)
+		case pkgPath == "math/rand" && globalRandFns[funcName]:
+			s.setEffect(effRand, call.Pos(), "rand."+funcName+" (global source)", nil)
+		case pkgPath == "time" && funcName == "Sleep":
+			if !noBlock {
+				s.setBlocking(call.Pos(), "time.Sleep", nil)
+				s.setUnguarded(call.Pos(), "time.Sleep", nil)
+			}
+		case pkgPath == "fmt":
+			s.setAlloc(call.Pos(), "fmt."+funcName+" (formats through interface boxing)", nil)
+		case pkgPath == "net/http" && blockingHTTPFns[funcName]:
+			if !noBlock {
+				s.setBlocking(call.Pos(), "http."+funcName, nil)
+				s.setUnguarded(call.Pos(), "http."+funcName, nil)
+			}
+		}
+		return
+	}
+	// External method calls: http.Client round trips and sync waits.
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := receiverType(info, sel)
+	switch sel.Sel.Name {
+	case "Do", "Get", "Post", "PostForm", "Head":
+		if recv != nil && types.TypeString(recv, nil) == "net/http.Client" && !noBlock {
+			s.setBlocking(call.Pos(), "http.Client."+sel.Sel.Name, nil)
+			s.setUnguarded(call.Pos(), "http.Client."+sel.Sel.Name, nil)
+		}
+	case "Wait":
+		// WaitGroup/Cond waits count as blocking (lockheld's concern)
+		// but NOT as unguarded blocking: a join on workers that carry
+		// the ctx themselves is the blessed fan-out shape (par.ForEach),
+		// and flagging it would punish exactly the code PR 3 fixed.
+		if isSyncWaitType(recv) && !noBlock {
+			s.setBlocking(call.Pos(), "sync "+exprText(sel.X)+".Wait", nil)
+		}
+	}
+}
+
+// mergeCallee unions a resolved in-Program callee's summary into the
+// caller at one call site.
+func mergeCallee(s *Summary, cs callSite, callee *Summary) {
+	for i, w := range callee.effects {
+		if w != nil {
+			s.setEffect(i, cs.pos, w.what, cs.callee)
+		}
+	}
+	if callee.blocking != nil && !cs.noBlock {
+		s.setBlocking(cs.pos, callee.blocking.what, cs.callee)
+	}
+	// The unguarded refinement stops at ctx boundaries: a callee WITH a
+	// ctx parameter owns its own blocking discipline (and any drop
+	// inside it is reported there by ctxprop).
+	if callee.unguarded != nil && !callee.hasCtx && !cs.noBlock {
+		s.setUnguarded(cs.pos, callee.unguarded.what, cs.callee)
+	}
+	if callee.allocs != nil {
+		s.setAlloc(cs.pos, callee.allocs.what, cs.callee)
+	}
+	for class, w := range callee.acquires {
+		if s.acquires[class] == nil {
+			s.acquires[class] = &witness{pos: cs.pos, what: w.what, via: cs.callee}
+		}
+	}
+	// lockEdges deliberately do NOT propagate: an order edge is a global
+	// fact already, owned by the function whose body (or call-with-held-
+	// lock) established it — lockorder assembles the whole-program graph
+	// from every function's own edges, and keeping them local gives each
+	// edge exactly one owning package to report (and waive) in.
+}
+
+// mergeExternal folds the curated classification of an out-of-Program
+// callee into the caller. Unknown externals are assumed pure,
+// non-blocking and allocation-free: the standard library is loaded
+// API-only, and the tables in scanDirectCall cover the calls that
+// matter. This is the documented soundness boundary (DESIGN.md §15).
+func mergeExternal(pkg *Package, s *Summary, cs callSite) {
+	// Everything external that needs classification is recognized
+	// syntactically in scanDirect (pkg.Func shapes and method names), so
+	// nothing further to do here; the hook exists so a future
+	// export-data loader can consult real summaries.
+	_ = pkg
+	_ = cs
+}
+
+func (s *Summary) setEffect(kind int, pos token.Pos, what string, via *types.Func) {
+	if s.effects[kind] == nil {
+		s.effects[kind] = &witness{pos: pos, what: what, via: via}
+	}
+}
+
+func (s *Summary) setBlocking(pos token.Pos, what string, via *types.Func) {
+	if s.blocking == nil {
+		s.blocking = &witness{pos: pos, what: what, via: via}
+	}
+}
+
+func (s *Summary) setUnguarded(pos token.Pos, what string, via *types.Func) {
+	if s.hasCtx {
+		return // a ctx parameter is in scope; drops are ctxprop's per-call-site business
+	}
+	if s.unguarded == nil {
+		s.unguarded = &witness{pos: pos, what: what, via: via}
+	}
+}
+
+func (s *Summary) setAlloc(pos token.Pos, what string, via *types.Func) {
+	if s.allocs == nil {
+		s.allocs = &witness{pos: pos, what: what, via: via}
+	}
+}
+
+// lockWalk runs the flow walker over n's body tracking may-held lock
+// classes, recording acquisitions and order edges into the summary.
+// Callee acquisitions (from the current summaries) establish edges too:
+// holding A while calling a function that takes B is an A→B edge even
+// though no Lock() appears here — the cross-file case lockheld misses.
+func lockWalk(prog *Program, n *fnode) {
+	v := &lockOrderVisitor{prog: prog, n: n, s: n.sum}
+	walkFlow(n.decl.Body, v)
+	// Function literals hold no caller locks at entry (they run on their
+	// own activation), but their own acquisitions and edges belong to
+	// this declaration. Descend fully so nested literals get their own
+	// walk too (re-walking an outer literal's straight-line statements is
+	// idempotent: fact insertion and witness recording are set-like).
+	ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok {
+			walkFlow(lit.Body, v)
+		}
+		return true
+	})
+}
+
+// lockOrderVisitor is the flowVisitor computing lock classes and order
+// edges. Facts are keyed by lock class (lockClassOf).
+type lockOrderVisitor struct {
+	prog *Program
+	n    *fnode
+	s    *Summary
+}
+
+func (v *lockOrderVisitor) transfer(stmt ast.Stmt, facts factSet) {
+	switch stmt.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// defer unlocks run at exit (lock stays held — facts untouched);
+		// go bodies run elsewhere and are walked separately.
+		return
+	}
+	inspectShallow(headerExprs(stmt), func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v.transferCall(call, facts)
+		return true
+	})
+}
+
+func (v *lockOrderVisitor) transferCall(call *ast.CallExpr, facts factSet) {
+	info := v.n.pkg.TypesInfo
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv := receiverType(info, sel)
+		if isMutexType(recv) {
+			class, ok := lockClassOf(info, sel.X)
+			if !ok {
+				return
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				v.acquire(class, call.Pos(), facts, nil)
+			case "Unlock", "RUnlock":
+				delete(facts, class)
+			}
+			return
+		}
+	}
+	// A call to a summarized function that itself acquires locks
+	// establishes order edges from everything held here.
+	callee := resolveCallee(info, call)
+	if callee == nil {
+		return
+	}
+	target := v.prog.funcs[callee]
+	if target == nil || target.sum == nil {
+		return
+	}
+	for _, class := range sortedWitnessKeyList(target.sum.acquires) {
+		v.acquireTransitive(class, call.Pos(), facts, callee)
+	}
+}
+
+// acquire records taking `class` with `held` currently held: the class
+// joins the summary's acquire set and every held→class pair becomes an
+// order edge. The class then becomes held.
+func (v *lockOrderVisitor) acquire(class string, pos token.Pos, held factSet, via *types.Func) {
+	if v.s.acquires[class] == nil {
+		v.s.acquires[class] = &witness{pos: pos, what: class, via: via}
+	}
+	v.addEdges(class, pos, held, via)
+	if _, ok := held[class]; !ok {
+		held[class] = pos
+	}
+}
+
+// acquireTransitive records a callee's acquisition: edges are formed
+// from the caller's held set, but the class does NOT become held here —
+// a summarized callee is assumed to release what it takes (unbalanced
+// lock helpers lose follow-on edges; a conservative miss, never a false
+// edge).
+func (v *lockOrderVisitor) acquireTransitive(class string, pos token.Pos, held factSet, via *types.Func) {
+	if v.s.acquires[class] == nil {
+		v.s.acquires[class] = &witness{pos: pos, what: class, via: via}
+	}
+	v.addEdges(class, pos, held, via)
+}
+
+func (v *lockOrderVisitor) addEdges(class string, pos token.Pos, held factSet, via *types.Func) {
+	for heldClass := range held {
+		if heldClass == class {
+			continue // re-entry is lockheld/runtime territory, not an order edge
+		}
+		key := heldClass + "\x00" + class
+		if v.s.lockEdges[key] == nil {
+			v.s.lockEdges[key] = &witness{pos: pos, what: heldClass + " -> " + class, via: via}
+		}
+	}
+}
+
+// sortedWitnessKeyList returns the map's keys sorted, for deterministic
+// edge formation order.
+func sortedWitnessKeyList(m map[string]*witness) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockClassOf canonicalizes a lock expression to a stable class name:
+// field locks key by their defining struct ("cloud.Server.mu" — one
+// class per field, all instances collapsed, the standard lock-class
+// abstraction), package-level locks by package path and name, local
+// locks by declaration position.
+func lockClassOf(info *types.Info, expr ast.Expr) (string, bool) {
+	expr = unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		obj := info.Uses[e.Sel]
+		if obj == nil {
+			return "", false
+		}
+		// Field selection: qualify by the receiver's named type.
+		t := info.Types[e.X].Type
+		if t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return types.TypeString(named, shortPkgQualifier) + "." + e.Sel.Name, true
+			}
+		}
+		if obj.Pkg() != nil {
+			return lastSegment(obj.Pkg().Path()) + "." + e.Sel.Name, true
+		}
+		return e.Sel.Name, true
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return lastSegment(obj.Pkg().Path()) + "." + obj.Name(), true
+		}
+		// Local lock: class per declaration site.
+		return "local." + obj.Name(), true
+	}
+	return "", false
+}
+
+func shortPkgQualifier(p *types.Package) string { return lastSegment(p.Path()) }
+
+// receiverType returns the (pointer-stripped) type of a selector's
+// receiver expression, or nil.
+func receiverType(info *types.Info, sel *ast.SelectorExpr) types.Type {
+	t := info.Types[sel.X].Type
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// signatureCarriesCtx reports whether the function can thread a request
+// context: an explicit context.Context parameter, an *http.Request
+// (whose Context() is the request's), or a receive-only done channel
+// (`<-chan struct{}` — the shape of ctx.Done(), the idiomatic
+// cancellation conduit for leaf helpers like cloud.sleepCtx).
+func signatureCarriesCtx(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		switch types.TypeString(t, nil) {
+		case "context.Context", "*net/http.Request", "<-chan struct{}":
+			return true
+		}
+	}
+	return false
+}
+
+// declHasPragma reports whether the declaration's doc comment contains a
+// line starting with the given pragma.
+func declHasPragma(decl *ast.FuncDecl, pragma string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, pragma) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingHTTPFns are net/http package-level helpers that perform a full
+// round trip.
+var blockingHTTPFns = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+// allocatingLiteral classifies composite literals that always heap
+// allocate: slice and map literals. Struct and array VALUE literals
+// stay silent (they live on the stack unless escape analysis says
+// otherwise, which a source-only linter cannot see); &T{...} is caught
+// at the unary & — also out of reach without escape analysis, so only
+// the guaranteed allocators are flagged.
+func allocatingLiteral(info *types.Info, lit *ast.CompositeLit) (string, bool) {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return "slice literal", true
+	case *types.Map:
+		return "map literal", true
+	}
+	return "", false
+}
+
+// writesPackageLevel reports whether an lvalue's root identifier is a
+// package-level variable (blank assignments excluded).
+func writesPackageLevel(info *types.Info, lhs ast.Expr) (token.Pos, string, bool) {
+	root := rootIdent(unparen(lhs))
+	if root == nil || root.Name == "_" {
+		return token.NoPos, "", false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return token.NoPos, "", false
+	}
+	// Only direct writes to the variable itself (or an element/field
+	// path rooted at it) count; writes through pointers read from it are
+	// out of reach.
+	return root.Pos(), v.Name(), true
+}
+
+// mapRangeHazard is one order-dependent fold found inside a map range.
+type mapRangeHazard struct {
+	pos  token.Pos
+	what string
+}
+
+// mapRangeHazards is the info-based core of detcheck's map-range rule,
+// shared with the summary builder: appends and float accumulation into
+// state declared outside a range-over-map observe iteration order.
+// Integer tallies and map-index copies stay silent (commutative /
+// order-blind), matching detcheck exactly so puritycert never
+// contradicts the intra-procedural analyzer.
+func mapRangeHazards(info *types.Info, rng *ast.RangeStmt) []mapRangeHazard {
+	var out []mapRangeHazard
+	ast.Inspect(rng.Body, func(nd ast.Node) bool {
+		assign, ok := nd.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ASSIGN:
+			for i, lhs := range assign.Lhs {
+				if i >= len(assign.Rhs) {
+					break
+				}
+				call, ok := unparen(assign.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if infoDeclaredOutside(info, lhs, rng) {
+					out = append(out, mapRangeHazard{assign.Pos(),
+						"append into " + exprText(lhs) + " while ranging a map"})
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			for _, lhs := range assign.Lhs {
+				t := info.Types[lhs].Type
+				if t == nil {
+					continue
+				}
+				if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+					continue
+				}
+				if infoDeclaredOutside(info, lhs, rng) {
+					out = append(out, mapRangeHazard{assign.Pos(),
+						"float accumulation into " + exprText(lhs) + " while ranging a map"})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// infoDeclaredOutside mirrors detcheck's declaredOutside without the
+// *Pass dependency.
+func infoDeclaredOutside(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	lhs = unparen(lhs)
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if t := info.Types[idx.X].Type; t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return false
+			}
+		}
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// pkgFuncOf is calledPackageFunc without the *Pass dependency, shared by
+// the summary builder.
+func pkgFuncOf(info *types.Info, call *ast.CallExpr) (pkgPath, funcName string, ok bool) {
+	sel, ok2 := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	id, ok2 := sel.X.(*ast.Ident)
+	if !ok2 {
+		return "", "", false
+	}
+	pn, ok2 := info.Uses[id].(*types.PkgName)
+	if !ok2 {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// chainString renders the witness chain starting at w inside fn:
+// "dp.Optimize → dp.solve → dp.stamp: time.Now()". Cycles through
+// recursive summaries are cut at the first repeat.
+func (p *Program) chainString(fn *types.Func, w *witness) string {
+	var parts []string
+	parts = append(parts, funcDisplayName(fn))
+	seen := map[*types.Func]bool{fn: true}
+	for w != nil && w.via != nil && !seen[w.via] {
+		seen[w.via] = true
+		parts = append(parts, funcDisplayName(w.via))
+		next := p.funcs[w.via]
+		if next == nil || next.sum == nil {
+			break
+		}
+		w = nextWitness(next.sum, w)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// nextWitness finds, in the callee summary, the witness matching the
+// fact the caller's witness described (same what), so chains descend to
+// the root cause.
+func nextWitness(callee *Summary, w *witness) *witness {
+	for _, cw := range callee.effects {
+		if cw != nil && cw.what == w.what {
+			return cw
+		}
+	}
+	for _, cw := range []*witness{callee.blocking, callee.unguarded, callee.allocs} {
+		if cw != nil && cw.what == w.what {
+			return cw
+		}
+	}
+	if cw := callee.acquires[w.what]; cw != nil {
+		return cw
+	}
+	return nil
+}
+
+// FuncSummary is the exported, JSON-ready view of one Summary, dumped by
+// `evlint -summaries` and uploaded as a CI artifact so the certification
+// state of every function is inspectable per commit.
+type FuncSummary struct {
+	Func      string   `json:"func"`
+	Package   string   `json:"package"`
+	Effects   []string `json:"effects,omitempty"`
+	Blocks    bool     `json:"blocks"`
+	Unguarded bool     `json:"unguardedBlock"`
+	Allocates bool     `json:"allocates"`
+	Acquires  []string `json:"acquires,omitempty"`
+	LockEdges []string `json:"lockEdges,omitempty"`
+	CtxParam  bool     `json:"ctxParam"`
+	Dynamic   bool     `json:"dynamic"`
+	Certified bool     `json:"certified,omitempty"`
+	Hot       bool     `json:"hot,omitempty"`
+}
+
+// Summaries returns every function's exported summary, sorted by
+// package then function name, ready for JSON encoding.
+func (p *Program) Summaries() []FuncSummary {
+	out := make([]FuncSummary, 0, len(p.order))
+	for _, n := range p.order {
+		s := n.sum
+		fs := FuncSummary{
+			Func:      funcDisplayName(n.fn),
+			Package:   n.pkg.PkgPath,
+			Blocks:    s.blocking != nil,
+			Unguarded: s.unguarded != nil,
+			Allocates: s.allocs != nil,
+			CtxParam:  s.hasCtx,
+			Dynamic:   s.dynamic,
+			Certified: s.certified,
+			Hot:       s.hot,
+		}
+		for i, w := range s.effects {
+			if w != nil {
+				fs.Effects = append(fs.Effects, effectNames[i])
+			}
+		}
+		fs.Acquires = sortedWitnessKeyList(s.acquires)
+		for _, key := range sortedWitnessKeyList(s.lockEdges) {
+			fs.LockEdges = append(fs.LockEdges, strings.ReplaceAll(key, "\x00", " -> "))
+		}
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}

@@ -1,0 +1,175 @@
+package lint
+
+// White-box tests for the interprocedural layer: summary facts, witness
+// chains, the one-build-per-Run contract, the loader's target cache,
+// and run-to-run determinism (no analyzer mutates the shared ASTs).
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func loadFixturePkg(t *testing.T, pkgpath string) *Package {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src"), pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	return pkg
+}
+
+func summaryByName(t *testing.T, sums []FuncSummary, fn string) FuncSummary {
+	t.Helper()
+	for _, s := range sums {
+		if s.Func == fn {
+			return s
+		}
+	}
+	t.Fatalf("no summary for %s (have %d summaries)", fn, len(sums))
+	return FuncSummary{}
+}
+
+// TestSummaryFacts pins the bottom-up fact propagation on the puritycert
+// fixture: a leaf's wall-clock read surfaces in every transitive caller,
+// clean functions stay clean, and dynamic callbacks set the Dynamic bit
+// without poisoning the certificate.
+func TestSummaryFacts(t *testing.T) {
+	pkg := loadFixturePkg(t, "puritycert/dp")
+	prog := BuildProgram([]*Package{pkg})
+	sums := prog.Summaries()
+
+	stamp := summaryByName(t, sums, "dp.stamp")
+	if !reflect.DeepEqual(stamp.Effects, []string{"wall-clock"}) {
+		t.Errorf("dp.stamp effects = %v, want [wall-clock]", stamp.Effects)
+	}
+	for _, fn := range []string{"dp.solve", "dp.Optimize"} {
+		s := summaryByName(t, sums, fn)
+		if !reflect.DeepEqual(s.Effects, []string{"wall-clock"}) {
+			t.Errorf("%s effects = %v, want inherited [wall-clock]", fn, s.Effects)
+		}
+	}
+	if s := summaryByName(t, sums, "dp.OptimizeCtx"); len(s.Effects) != 0 || !s.Certified {
+		t.Errorf("dp.OptimizeCtx = effects %v certified %v, want clean and certified", s.Effects, s.Certified)
+	}
+	if s := summaryByName(t, sums, "dp.WithCallback"); !s.Dynamic || len(s.Effects) != 0 {
+		t.Errorf("dp.WithCallback = dynamic %v effects %v, want dynamic with no effects", s.Dynamic, s.Effects)
+	}
+	if s := summaryByName(t, sums, "dp.Jitter"); !reflect.DeepEqual(s.Effects, []string{"global-rand"}) {
+		t.Errorf("dp.Jitter effects = %v, want [global-rand]", s.Effects)
+	}
+	if s := summaryByName(t, sums, "dp.CleanFold"); len(s.Effects) != 0 {
+		t.Errorf("dp.CleanFold effects = %v, want none (integer fold is commutative)", s.Effects)
+	}
+}
+
+// TestSummaryLockFacts pins lock classes and order edges on the
+// lockorder fixture, including the edge formed by calling a lock-taking
+// helper while holding a lock.
+func TestSummaryLockFacts(t *testing.T) {
+	pkg := loadFixturePkg(t, "lockorder/internal/cloud")
+	prog := BuildProgram([]*Package{pkg})
+	sums := prog.Summaries()
+
+	lb := summaryByName(t, sums, "cloud.lockBoth")
+	if !reflect.DeepEqual(lb.Acquires, []string{"cloud.Registry.mu", "cloud.Server.mu"}) {
+		t.Errorf("lockBoth acquires = %v", lb.Acquires)
+	}
+	if !reflect.DeepEqual(lb.LockEdges, []string{"cloud.Server.mu -> cloud.Registry.mu"}) {
+		t.Errorf("lockBoth edges = %v", lb.LockEdges)
+	}
+	// The helper-call edge: Gauge.mu held across a call to bumpServer,
+	// whose summary acquires Server.mu.
+	hg := summaryByName(t, sums, "cloud.holdGaugeThenServer")
+	if !reflect.DeepEqual(hg.LockEdges, []string{"cloud.Gauge.mu -> cloud.Server.mu"}) {
+		t.Errorf("holdGaugeThenServer edges = %v", hg.LockEdges)
+	}
+	// Released before the reversed acquisition: no edges at all.
+	if s := summaryByName(t, sums, "cloud.releasedBeforeReversed"); len(s.LockEdges) != 0 {
+		t.Errorf("releasedBeforeReversed edges = %v, want none (flow-sensitive)", s.LockEdges)
+	}
+}
+
+// TestSummaryBlockingAndCtx pins the blocking/unguarded split on the
+// ctxprop fixture: a ctx-less receive is unguarded, a done-channel or
+// ctx parameter guards it, and select-with-default is not blocking.
+func TestSummaryBlockingAndCtx(t *testing.T) {
+	pkg := loadFixturePkg(t, "ctxprop/internal/cloud")
+	prog := BuildProgram([]*Package{pkg})
+	sums := prog.Summaries()
+
+	if s := summaryByName(t, sums, "(*cloud.Server).waitForSlot"); !s.Blocks || !s.Unguarded {
+		t.Errorf("waitForSlot = blocks %v unguarded %v, want both", s.Blocks, s.Unguarded)
+	}
+	if s := summaryByName(t, sums, "(*cloud.Server).waitCtx"); !s.Blocks || s.Unguarded || !s.CtxParam {
+		t.Errorf("waitCtx = blocks %v unguarded %v ctx %v, want blocking but guarded", s.Blocks, s.Unguarded, s.CtxParam)
+	}
+	if s := summaryByName(t, sums, "cloud.sleepCtx"); s.Unguarded || !s.CtxParam {
+		t.Errorf("sleepCtx = unguarded %v ctx %v, want done-channel param to count as ctx", s.Unguarded, s.CtxParam)
+	}
+	if s := summaryByName(t, sums, "(*cloud.Server).isReady"); s.Blocks {
+		t.Errorf("isReady blocks; select with default is non-blocking")
+	}
+	if s := summaryByName(t, sums, "(*cloud.Server).handleSpawn"); s.Blocks {
+		t.Errorf("handleSpawn blocks; go-statement callees park their own goroutine")
+	}
+}
+
+// TestProgramBuiltOncePerRun pins the satellite-2 contract: one Run call
+// — N analyzers × M packages — performs exactly one interprocedural
+// build.
+func TestProgramBuiltOncePerRun(t *testing.T) {
+	pkg := loadFixturePkg(t, "puritycert/dp")
+	before := programBuilds
+	if _, err := Run(All(), []*Package{pkg}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := programBuilds - before; got != 1 {
+		t.Fatalf("Run built the Program %d times, want exactly 1", got)
+	}
+}
+
+// TestRunTwiceSameDiagnostics pins that no analyzer mutates the shared
+// ASTs or type info: running the full suite twice over the SAME loaded
+// packages yields byte-identical findings.
+func TestRunTwiceSameDiagnostics(t *testing.T) {
+	pkgs := []*Package{
+		loadFixturePkg(t, "puritycert/dp"),
+		loadFixturePkg(t, "lockorder/internal/cloud"),
+		loadFixturePkg(t, "ctxprop/internal/cloud"),
+		loadFixturePkg(t, "hotalloc/internal/dp"),
+	}
+	render := func(res *Result) []string {
+		var out []string
+		for _, d := range res.Active {
+			out = append(out, FormatDiagnostic(res.Fset, d))
+		}
+		return out
+	}
+	first, err := Run(All(), pkgs)
+	if err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	second, err := Run(All(), pkgs)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	a, b := render(first), render(second)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("diagnostics changed between identical runs:\nfirst:  %v\nsecond: %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("expected the fixture packages to produce findings")
+	}
+}
+
+// TestLoadFixtureCached pins the loader's target cache: a second load of
+// the same path returns the SAME *Package — one parse + type-check per
+// process, shared across every analyzer test and lint run.
+func TestLoadFixtureCached(t *testing.T) {
+	first := loadFixturePkg(t, "puritycert/dp")
+	second := loadFixturePkg(t, "puritycert/dp")
+	if first != second {
+		t.Error("LoadFixture re-checked a cached package; wanted pointer-identical result")
+	}
+}

@@ -1,0 +1,16 @@
+// Package plain carries the same ctx-dropping shape as the cloud
+// fixture but lives outside the serving scope — ctxprop must stay
+// silent here.
+package plain
+
+import "context"
+
+type pipe struct{ c chan int }
+
+func (p *pipe) handle(ctx context.Context) {
+	p.pull()
+}
+
+func (p *pipe) pull() {
+	<-p.c
+}

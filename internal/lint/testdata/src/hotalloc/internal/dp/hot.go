@@ -1,0 +1,64 @@
+// Package dp exercises hotalloc: functions reachable from //lint:hot
+// roots must not contain allocation sites.
+package dp
+
+import "fmt"
+
+type scratch struct {
+	cand []float64
+	tags []string
+}
+
+// relax is the hot root: it allocates directly and calls helpers that
+// allocate transitively.
+//
+//lint:hot
+func relax(sc *scratch, n int) {
+	buf := make([]float64, n) // want `make in dp\.relax: hot-path functions must not allocate`
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	commit(sc, buf)
+	label(sc, n)
+}
+
+// commit is NOT annotated but is reachable from the hot root: its
+// allocation sites are findings too, attributed to the root.
+func commit(sc *scratch, vals []float64) {
+	for _, v := range vals {
+		sc.cand = append(sc.cand, v) // want `append growth in dp\.commit \(reachable from //lint:hot dp\.relax\)`
+	}
+}
+
+func label(sc *scratch, n int) {
+	sc.tags = append(sc.tags, fmt.Sprintf("n=%d", n)) // want `append growth in dp\.label` `fmt\.Sprintf \(interface boxing\) in dp\.label`
+}
+
+// gatherClean is hot and allocation-free: index writes into
+// caller-owned scratch, struct VALUE literals (stack), and arithmetic.
+//
+//lint:hot
+func gatherClean(sc *scratch, lo, hi int) float64 {
+	type acc struct{ sum, n float64 }
+	a := acc{}
+	for i := lo; i < hi; i++ {
+		if i < len(sc.cand) {
+			sc.cand[i] = sc.cand[i] * 0.5
+			a.sum += sc.cand[i]
+			a.n++
+		}
+	}
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / a.n
+}
+
+// coldSetup allocates freely but is NOT reachable from any hot root —
+// no findings.
+func coldSetup(n int) *scratch {
+	return &scratch{
+		cand: make([]float64, n),
+		tags: []string{"setup"},
+	}
+}

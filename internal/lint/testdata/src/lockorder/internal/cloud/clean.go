@@ -1,0 +1,59 @@
+package cloud
+
+import "sync"
+
+// Ledger and Journal nest consistently everywhere — no cycle, no
+// finding, even though both orders of MENTION appear below.
+type Ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+// consistentNest establishes Ledger.mu -> Journal.mu …
+func consistentNest(l *Ledger, j *Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}
+
+// … and consistentNestAgain repeats the same order: still acyclic.
+func consistentNestAgain(l *Ledger, j *Journal) {
+	l.mu.Lock()
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// releasedBeforeReversed takes the locks in the "wrong" order but never
+// holds them together — flow-sensitivity keeps it edge-free.
+func releasedBeforeReversed(l *Ledger, j *Journal) {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}
+
+// reentrant takes the same class twice (directly and via a helper):
+// self-edges are lockheld's and the runtime's business, not an order
+// cycle.
+func reentrant(a, b *Ledger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bumpLedger(b)
+}
+
+func bumpLedger(l *Ledger) {
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package cloud exercises lockorder: cycles in the whole-program
+// lock-acquisition-order graph, including edges formed by calling a
+// lock-taking helper while holding a lock.
+package cloud
+
+import "sync"
+
+// Server and Registry each own one lock class (cloud.Server.mu and
+// cloud.Registry.mu — classes abstract over instances).
+type Server struct {
+	mu    sync.Mutex
+	state int
+}
+
+type Registry struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// lockBoth nests Registry.mu under Server.mu …
+func lockBoth(s *Server, r *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock() // want `lock order cycle: cloud\.lockBoth acquires cloud\.Registry\.mu while holding cloud\.Server\.mu`
+	r.entries++
+	r.mu.Unlock()
+}
+
+// … and lockBothReversed nests them the other way: a deadlock-capable
+// cycle across two functions.
+func lockBothReversed(s *Server, r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock() // want `lock order cycle: cloud\.lockBothReversed acquires cloud\.Server\.mu while holding cloud\.Registry\.mu`
+	s.state++
+	s.mu.Unlock()
+}
+
+// Gauge's lock participates in a cycle only through a helper call:
+// holdGaugeThenServer holds Gauge.mu and calls bumpServer, whose summary
+// says it acquires Server.mu — an edge the intra-procedural lockheld can
+// never see.
+type Gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+func bumpServer(s *Server) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+func holdGaugeThenServer(g *Gauge, s *Server) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bumpServer(s) // want `lock order cycle: cloud\.holdGaugeThenServer acquires cloud\.Server\.mu while holding cloud\.Gauge\.mu`
+	g.n++
+}
+
+func holdServerThenGauge(g *Gauge, s *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.mu.Lock() // want `lock order cycle: cloud\.holdServerThenGauge acquires cloud\.Gauge\.mu while holding cloud\.Server\.mu`
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+// Package dp mimics evvo/internal/dp by path shape: puritycert requires
+// the solver entrypoints here to be certified, and enforces the
+// certificate transitively through the call graph.
+package dp
+
+import "time"
+
+// Config mimics a solver config carrying a dynamic callback hook.
+type Config struct {
+	Steps int
+	// Progress is a caller-owned hook; calls through it are dynamic and
+	// outside the certificate.
+	Progress func(int)
+}
+
+// Result is a solve result.
+type Result struct {
+	Cost    float64
+	Stamped int64
+}
+
+// Optimize is certified but reaches time.Now() two calls deep — the
+// exact regression ISSUE 10 requires the fixture to catch.
+//
+//lint:certify pure
+func Optimize(cfg Config) (*Result, error) {
+	r := solve(cfg) // want `dp\.Optimize is certified pure but may observe wall-clock \(time\.Now\(\)\) via dp\.Optimize -> dp\.solve -> dp\.stamp`
+	return r, nil
+}
+
+func solve(cfg Config) *Result {
+	r := &Result{Cost: float64(cfg.Steps)}
+	stamp(r)
+	return r
+}
+
+func stamp(r *Result) {
+	r.Stamped = time.Now().UnixNano()
+}
+
+// OptimizeCtx is certified and genuinely pure: everything it reaches is
+// arithmetic over its inputs. No finding.
+//
+//lint:certify pure
+func OptimizeCtx(cfg Config) (*Result, error) {
+	return &Result{Cost: pureCost(cfg.Steps)}, nil
+}
+
+func pureCost(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += float64(i)
+	}
+	return total
+}
+
+// BuildRouteTables is a required entrypoint with no certification
+// annotation at all.
+func BuildRouteTables(cfg Config) (*Result, error) { // want `dp\.BuildRouteTables is a solver entrypoint and must carry`
+	return &Result{}, nil
+}
+
+// WithCallback is certified and calls through a dynamic function value.
+// Dynamic callees are outside the certificate (the summary's Dynamic bit
+// records the hole), so this is clean.
+//
+//lint:certify pure
+func WithCallback(cfg Config) float64 {
+	if cfg.Progress != nil {
+		cfg.Progress(1)
+	}
+	return pureCost(cfg.Steps)
+}

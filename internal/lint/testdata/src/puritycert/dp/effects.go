@@ -1,0 +1,51 @@
+package dp
+
+import "math/rand"
+
+// tableState is package-level mutable state: writing it from a certified
+// function is a global-write effect.
+var tableState int
+
+// Weights opts in to certification (not a required entrypoint) and folds
+// floats while ranging a map — an order-dependent accumulation.
+//
+//lint:certify pure
+func Weights(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `dp\.Weights is certified pure but may observe map-order`
+	}
+	return total
+}
+
+// Jitter is certified but draws from the global math/rand stream through
+// a helper.
+//
+//lint:certify pure
+func Jitter() float64 {
+	return draw() // want `dp\.Jitter is certified pure but may observe global-rand .* via dp\.Jitter -> dp\.draw`
+}
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+// Memoize is certified but mutates package state.
+//
+//lint:certify pure
+func Memoize(n int) int {
+	tableState = n // want `dp\.Memoize is certified pure but may observe global-write \(writes package-level var tableState\)`
+	return tableState
+}
+
+// CleanFold accumulates integers while ranging a map — commutative,
+// order-blind, not an effect. Certified and clean.
+//
+//lint:certify pure
+func CleanFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -101,6 +101,8 @@ func (s *SAE) Network() *Network { return s.net }
 // each hidden layer is trained to reconstruct its (noise-corrupted) input
 // through a temporary sigmoid decoder, then the encoded representation
 // feeds the next layer.
+//
+//lint:certify pure
 func (s *SAE) Pretrain(x [][]float64) error {
 	if len(x) == 0 {
 		return fmt.Errorf("neural: pretrain needs data")
@@ -166,6 +168,8 @@ func (s *SAE) corrupt(x [][]float64) [][]float64 {
 
 // Fit pretrains on the inputs and fine-tunes on the labeled pairs,
 // returning the final fine-tuning loss.
+//
+//lint:certify pure
 func (s *SAE) Fit(x, y [][]float64) (float64, error) {
 	if err := s.Pretrain(x); err != nil {
 		return 0, err
@@ -177,6 +181,8 @@ func (s *SAE) Fit(x, y [][]float64) (float64, error) {
 }
 
 // Predict returns the regression output for one input.
+//
+//lint:certify pure
 func (s *SAE) Predict(x []float64) []float64 {
 	return s.net.Forward(x)
 }
